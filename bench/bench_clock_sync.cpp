@@ -1,0 +1,95 @@
+// E9 — global time precision vs the ΔG_min budget (§3.2).
+//
+// "Because we must prevent any temporal overlap between adjacent hard
+// real-time slots, a minimal gap ΔG_min has to be allocated between the
+// slots. This gap depends on the quality and frequency of clock
+// synchronization and is conservatively assumed at 40 us."
+//
+// Sweep drift bound and resync period; measure the achieved worst pairwise
+// clock disagreement of a 6-node network (sampled every millisecond over
+// 10 s) against the analytic bound 2*(granularity + drift*period) and the
+// paper's 40 us budget.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "core/scenario.hpp"
+#include "time/sync.hpp"
+#include "trace/csv.hpp"
+
+using namespace rtec;
+using namespace rtec::literals;
+
+namespace {
+
+struct Row {
+  double worst_us = 0;     // measured worst pairwise disagreement
+  double bound_us = 0;     // required_slot_gap()/... analytic bound
+};
+
+Row run(std::int64_t drift_ppb, Duration resync, std::uint64_t seed) {
+  Scenario::Config cfg;
+  cfg.calendar.round_length = resync;
+  Scenario scn{cfg};
+
+  Rng rng{seed};
+  for (NodeId n = 1; n <= 6; ++n) {
+    Node::ClockParams p;
+    p.initial_offset = Duration::microseconds(rng.uniform_int(-30, 30));
+    p.drift_ppb = rng.uniform_int(-drift_ppb, drift_ppb);
+    p.granularity = 1_us;
+    scn.add_node(n, p);
+  }
+  // The sync slot needs LST >= t_wait; 500 us fits every tested round.
+  (void)scn.enable_clock_sync(1, 450_us);
+
+  // Warm-up: two rounds to remove initial offsets.
+  scn.run_for(resync * 2);
+
+  Duration worst = Duration::zero();
+  const int samples = static_cast<int>(Duration::seconds(10) / 1_ms);
+  for (int i = 0; i < samples; ++i) {
+    scn.run_for(1_ms);
+    const Duration d = scn.clock_precision();
+    if (d > worst) worst = d;
+  }
+
+  Row row;
+  row.worst_us = worst.us();
+  row.bound_us = required_slot_gap(1_us, drift_ppb, resync).us();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E9", "achieved clock precision vs ΔG_min budget");
+  bench::note("6 nodes, 1 us clock tick, master sync each round, 10 s sampled");
+  bench::note("at 1 kHz; bound = 2*(tick + drift*round) [required_slot_gap]");
+
+  CsvWriter csv{"bench_clock_sync.csv"};
+  csv.header({"drift_ppm", "resync_ms", "worst_us", "bound_us"});
+
+  std::printf("\n  %-11s %-12s %-22s %-18s %s\n", "drift (ppm)", "resync (ms)",
+              "worst observed (us)", "analytic bound", "within 40 us");
+  bench::rule();
+  for (std::int64_t ppm : {10, 50, 100, 200}) {
+    for (std::int64_t ms : {10, 50, 100}) {
+      const Row r = run(ppm * 1000, Duration::milliseconds(ms),
+                        static_cast<std::uint64_t>(ppm * 100 + ms));
+      std::printf("  %-11lld %-12lld %-22.1f %-18.1f %s\n",
+                  static_cast<long long>(ppm), static_cast<long long>(ms),
+                  r.worst_us, r.bound_us, r.worst_us <= 40.0 ? "yes" : "NO");
+      csv.row(ppm, ms, r.worst_us, r.bound_us);
+    }
+    bench::rule();
+  }
+  bench::note("the paper's conservative 40 us gap covers every configuration a");
+  bench::note("real deployment would choose (<=100 ppm crystals, resync every");
+  bench::note("round); only extreme drift x long resync periods exceed it, and");
+  bench::note("the analytic bound flags exactly those — feed required_slot_gap()");
+  bench::note("into Calendar::Config::gap to provision a different budget.");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// E6 — the priority-slot length trade-off (§3.4).
+//
+// "There is a trade-off between the length of a priority slot and the
+// quality of the derived schedule": small Δt_p separates close deadlines
+// (few same-band collisions) but shrinks the time horizon
+// ΔH = (P_max−P_min+1)·Δt_p — deadlines beyond ΔH all map to the lowest
+// band and may be scheduled incorrectly; large Δt_p extends the horizon
+// but collapses close deadlines into one band where TxNode decides.
+//
+// Four nodes publish SRT messages with Poisson arrivals (~70% load) and
+// deadlines uniform in [1 ms, 50 ms]. For each Δt_p we count true EDF
+// inversions on the bus: message i transmitted before message j although
+// j was already queued (published before i started) and j's deadline is
+// earlier. Also reported: share of deadlines beyond the horizon at
+// publish time, and promotions per message (the scheme's overhead).
+//
+// Expected: a U-shaped inversion curve with the minimum near
+// Δt_p ≈ spread / 250 ≈ 200 us — the paper's "priority slot length of
+// approximately one CAN-message".
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "trace/csv.hpp"
+#include "util/bytes.hpp"
+#include "util/random.hpp"
+
+using namespace rtec;
+using namespace rtec::literals;
+
+namespace {
+
+constexpr Duration kRun = Duration::seconds(2);
+
+struct Row {
+  double inversion_rate = 0;   // inversions / transmitted messages
+  double beyond_horizon = 0;   // fraction of messages published past ΔH
+  double promotions_per_msg = 0;
+  double blocked_per_msg = 0;
+};
+
+Row run(Duration slot_len, std::uint64_t seed) {
+  Scenario::Config cfg;
+  cfg.srt_map.slot_length = slot_len;
+  Scenario scn{cfg};
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+
+  constexpr int kNodes = 4;
+  std::vector<Node*> nodes;
+  std::vector<std::unique_ptr<Srtec>> channels;
+  for (NodeId n = 1; n <= kNodes; ++n) {
+    Node& node = scn.add_node(n, perfect);
+    nodes.push_back(&node);
+    channels.push_back(std::make_unique<Srtec>(node.middleware()));
+    (void)channels.back()->announce(
+        subject_of("e6/" + std::to_string(n)), {}, nullptr);
+  }
+
+  // Bookkeeping per message uid (carried in the payload).
+  struct MsgInfo {
+    TimePoint published;
+    TimePoint deadline;
+  };
+  std::map<std::uint32_t, MsgInfo> info;
+  struct TxRecord {
+    std::uint32_t uid;
+    TimePoint start;
+  };
+  std::vector<TxRecord> tx_order;
+  scn.bus().add_observer([&](const CanBus::FrameEvent& ev) {
+    if (!ev.success) return;
+    if (classify_priority(id_priority(ev.frame.id)) != TrafficClass::kSrt)
+      return;
+    tx_order.push_back({load_le32({ev.frame.data.data(), 4}), ev.start});
+  });
+
+  // Poisson arrivals: ~70% load across 4 nodes; C ~= 160 us.
+  const double mean_gap_ns = 160e3 * kNodes / 0.7;
+  Rng rng{seed};
+  std::uint32_t next_uid = 1;
+  std::uint64_t beyond = 0;
+  const DeadlinePriorityMap map{cfg.srt_map};
+  for (int n = 0; n < kNodes; ++n) {
+    TimePoint t = TimePoint::origin();
+    while (true) {
+      t += Duration::nanoseconds(
+          static_cast<std::int64_t>(rng.exponential(mean_gap_ns)));
+      if (t >= TimePoint::origin() + kRun) break;
+      const TimePoint deadline =
+          t + Duration::microseconds(rng.uniform_int(1000, 50'000));
+      const std::uint32_t uid = next_uid++;
+      info[uid] = {t, deadline};
+      if (deadline - t > map.horizon()) ++beyond;
+      Srtec* chan = channels[static_cast<std::size_t>(n)].get();
+      scn.sim().schedule_at(t, [chan, uid, deadline] {
+        Event e;
+        e.content.assign(8, 0);
+        store_le32({e.content.data(), 4}, uid);
+        e.attributes.deadline = deadline;
+        e.attributes.expiration = deadline + Duration::seconds(10);
+        (void)chan->publish(std::move(e));
+      });
+    }
+  }
+
+  scn.run_for(kRun + Duration::seconds(1));
+
+  // Count inversions: i transmitted before j, but j was already published
+  // when i started and has the earlier deadline.
+  std::uint64_t inversions = 0;
+  for (std::size_t i = 0; i < tx_order.size(); ++i) {
+    const MsgInfo& mi = info[tx_order[i].uid];
+    for (std::size_t j = i + 1; j < tx_order.size(); ++j) {
+      const MsgInfo& mj = info[tx_order[j].uid];
+      if (mj.published > tx_order[i].start) continue;  // j not queued yet
+      if (mj.deadline < mi.deadline) ++inversions;
+    }
+  }
+
+  Row row;
+  row.inversion_rate = tx_order.empty()
+                           ? 0.0
+                           : static_cast<double>(inversions) /
+                                 static_cast<double>(tx_order.size());
+  row.beyond_horizon =
+      static_cast<double>(beyond) / static_cast<double>(info.size());
+  std::uint64_t promotions = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t sent = 0;
+  for (Node* n : nodes) {
+    promotions += n->middleware().srt().counters().promotions;
+    blocked += n->middleware().srt().counters().promotion_blocked;
+    sent += n->middleware().srt().counters().sent;
+  }
+  row.promotions_per_msg =
+      sent == 0 ? 0.0 : static_cast<double>(promotions) / static_cast<double>(sent);
+  row.blocked_per_msg =
+      sent == 0 ? 0.0 : static_cast<double>(blocked) / static_cast<double>(sent);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E6", "priority-slot length Δt_p: schedule quality vs horizon vs overhead");
+  bench::note("4 nodes, Poisson arrivals at 70%% load, deadlines U[1,50] ms,");
+  bench::note("250 SRT bands -> ΔH = 250 * Δt_p; 2 s per point");
+
+  CsvWriter csv{"bench_priority_slot.csv"};
+  csv.header({"slot_us", "horizon_ms", "inversions_per_msg", "beyond_horizon",
+              "promotions_per_msg", "blocked_per_msg"});
+
+  std::printf("\n  %-10s %-13s %-18s %-16s %-16s %s\n", "Δt_p (us)",
+              "ΔH (ms)", "inversions/msg", "beyond ΔH", "promotions/msg",
+              "blocked/msg");
+  bench::rule();
+  for (const std::int64_t slot_us : {20LL, 50LL, 100LL, 200LL, 400LL, 1600LL,
+                                     6400LL, 25600LL}) {
+    const Duration slot = Duration::microseconds(slot_us);
+    const Row r = run(slot, 31337);
+    const double horizon_ms = static_cast<double>(slot_us) * 250 / 1000.0;
+    std::printf("  %-10lld %-13.1f %-18.4f %-16.3f %-16.2f %.3f\n",
+                static_cast<long long>(slot_us), horizon_ms, r.inversion_rate,
+                r.beyond_horizon, r.promotions_per_msg, r.blocked_per_msg);
+    csv.row(slot_us, horizon_ms, r.inversion_rate, r.beyond_horizon,
+            r.promotions_per_msg, r.blocked_per_msg);
+  }
+  bench::rule();
+  bench::note("inversions are minimal where the horizon just covers the 50 ms");
+  bench::note("deadline spread (Δt_p ~ 200 us, the paper's 'about one CAN");
+  bench::note("message'); smaller slots push deadlines past ΔH (saturated band),");
+  bench::note("larger slots collide distinct deadlines into one band. Promotion");
+  bench::note("overhead falls as Δt_p grows — the other side of the trade-off.");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark) of the simulation substrate itself:
+// event-queue throughput, frame-accurate bus throughput, and middleware
+// publish-path cost. These bound how much simulated traffic the experiment
+// harnesses can afford and guard against performance regressions in the
+// kernel.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "canbus/bus.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "sim/simulator.hpp"
+
+using namespace rtec;
+using namespace rtec::literals;
+
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    const auto n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i)
+      sim.schedule_at(TimePoint::origin() + Duration::microseconds(i),
+                      [&fired] { ++fired; });
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorTimerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    const auto n = static_cast<int>(state.range(0));
+    std::vector<Simulator::TimerHandle> handles;
+    handles.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      handles.push_back(sim.schedule_at(
+          TimePoint::origin() + Duration::microseconds(i), [] {}));
+    for (auto& h : handles) sim.cancel(h);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorTimerCancel)->Arg(4096);
+
+void BM_BusSaturatedFrames(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    CanBus bus{sim, BusConfig{}};
+    CanController a{sim, 1};
+    CanController b{sim, 2};
+    bus.attach(a);
+    bus.attach(b);
+    // Keep both mailboxes full: back-to-back arbitration + transmission.
+    std::uint64_t sent = 0;
+    const std::uint64_t target = static_cast<std::uint64_t>(state.range(0));
+    std::function<void(CanController&, std::uint32_t)> feed =
+        [&](CanController& c, std::uint32_t id) {
+          CanFrame f;
+          f.id = id;
+          f.dlc = 8;
+          (void)c.submit(f, TxMode::kAutoRetransmit,
+                         [&, id](auto, const CanFrame&, bool, TimePoint) {
+                           if (++sent < target) feed(c, id);
+                         });
+        };
+    feed(a, 0x100);
+    feed(b, 0x200);
+    sim.run();
+    benchmark::DoNotOptimize(sent);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("frames");
+}
+BENCHMARK(BM_BusSaturatedFrames)->Arg(10000);
+
+void BM_FrameStuffedLength(benchmark::State& state) {
+  CanFrame f;
+  f.id = 0x15a5a5a5 & kMaxExtendedId;
+  f.dlc = 8;
+  f.data = {0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame_wire_bits(f));
+    f.data[0] = static_cast<std::uint8_t>(f.data[0] + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameStuffedLength);
+
+void BM_SrtPublishPath(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scenario scn;
+    Node::ClockParams perfect;
+    perfect.granularity = 1_ns;
+    Node& n1 = scn.add_node(1, perfect);
+    scn.add_node(2, perfect);
+    Srtec pub{n1.middleware()};
+    (void)pub.announce(subject_of("bm/srt"), {}, nullptr);
+    state.ResumeTiming();
+
+    for (int i = 0; i < 1000; ++i) {
+      Event e;
+      e.content = {1, 2, 3, 4};
+      benchmark::DoNotOptimize(pub.publish(std::move(e)).has_value());
+      scn.run_for(200_us);  // drain so the queue stays shallow
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetLabel("publish+tx+deliver");
+}
+BENCHMARK(BM_SrtPublishPath)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

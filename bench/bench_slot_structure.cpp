@@ -1,0 +1,172 @@
+// E1 — Fig. 3: structure of a time-slot.
+//
+// Reproduces the paper's time-slot mechanics at 1-bit resolution:
+//   * an adversarial lower-priority frame that starts just before the
+//     slot's ready time delays the HRT transmission by at most ΔT_wait,
+//     so transmission always starts by LST;
+//   * the middleware delivers at the fixed delivery deadline, so the
+//     application sees zero jitter regardless of where in the window the
+//     frame landed;
+//   * ablation: WITHOUT the ΔT_wait extension (message ready only at LST),
+//     the same adversary pushes completion past the deadline — the reason
+//     Fig. 3 extends the slot.
+//
+// Table 1: blocker size sweep (DLC 0..8), measured HRT start vs LST.
+// Table 2: ablation with/without the ΔT_wait readiness extension.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/common.hpp"
+#include "core/hrtec.hpp"
+#include "core/scenario.hpp"
+#include "trace/csv.hpp"
+
+using namespace rtec;
+using namespace rtec::literals;
+
+namespace {
+
+struct Result {
+  double blocker_us;
+  double start_after_ready_us;  // HRT SOF - ready
+  double start_after_lst_us;    // HRT SOF - LST (<= 0 required)
+  double delivery_offset_us;    // delivery - deadline (== 0 required)
+};
+
+Result run_trial(int blocker_dlc, bool with_extension) {
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  Scenario scn{cfg};
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+  Node& pub_node = scn.add_node(1, perfect);
+  Node& sub_node = scn.add_node(2, perfect);
+  Node& adversary = scn.add_node(9, perfect);
+
+  const Subject subject = subject_of("e1/hrt");
+  SlotSpec slot;
+  slot.lst_offset = 1_ms;
+  slot.dlc = 8;
+  slot.etag = *scn.binding().bind(subject);
+  slot.publisher = pub_node.id();
+  const std::size_t slot_index = *scn.calendar().reserve(slot);
+  const Calendar::Instance inst =
+      scn.calendar().instance_at_or_after(slot_index, TimePoint::origin());
+
+  TimePoint hrt_start;
+  TimePoint delivery;
+  scn.bus().add_observer([&](const CanBus::FrameEvent& ev) {
+    if (id_priority(ev.frame.id) == kHrtPriority && ev.success)
+      hrt_start = ev.start;
+  });
+
+  // The adversarial blocker is requested 1 ns before the HRT frame enters
+  // the controller.
+  const TimePoint block_at =
+      (with_extension ? inst.ready : inst.lst) - 1_ns;
+  scn.sim().schedule_at(block_at, [&, blocker_dlc] {
+    CanFrame f;
+    f.id = encode_can_id({kNrtPriorityMax, 9, 500});
+    f.dlc = static_cast<std::uint8_t>(blocker_dlc);
+    f.data.fill(0);  // worst-case stuffing
+    (void)adversary.controller().submit(f, TxMode::kAutoRetransmit);
+  });
+
+  if (with_extension) {
+    Hrtec pub{pub_node.middleware()};
+    Hrtec sub{sub_node.middleware()};
+    (void)pub.announce(subject, {}, nullptr);
+    (void)sub.subscribe(subject, {},
+                        [&] { delivery = sub_node.clock().now(); }, nullptr);
+    Event e;
+    e.content = {1, 2, 3, 4, 5, 6, 7, 8};
+    (void)pub.publish(std::move(e));
+    scn.run_for(2_ms);
+  } else {
+    // Ablation: bypass the middleware's early readiness; submit the raw
+    // priority-0 frame exactly at LST.
+    scn.sim().schedule_at(inst.lst, [&] {
+      CanFrame f;
+      f.id = encode_can_id({kHrtPriority, 1, slot.etag});
+      f.dlc = 8;
+      (void)pub_node.controller().submit(f, TxMode::kSingleShot);
+    });
+    sub_node.controller().add_rx_listener(
+        [&](const CanFrame& f, TimePoint t) {
+          if (id_priority(f.id) == kHrtPriority) delivery = t;
+        });
+    scn.run_for(2_ms);
+  }
+
+  Result r;
+  r.blocker_us = blocker_dlc >= 0
+                     ? worst_case_frame_duration(blocker_dlc, true,
+                                                 scn.bus().config())
+                           .us()
+                     : 0.0;
+  r.start_after_ready_us = (hrt_start - inst.ready).us();
+  r.start_after_lst_us = (hrt_start - inst.lst).us();
+  r.delivery_offset_us = (delivery - inst.deadline).us();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("E1 / Fig. 3", "structure of a time-slot on the bus");
+
+  const BusConfig bus;
+  bench::note("bit time 1 us; ΔT_wait = %.0f us (worst 29-bit frame + IFS);",
+              (worst_case_frame_duration(8, true, bus).us() + 3));
+  bench::note("slot: LST = 1 ms, WCTT(dlc 8, k=0) = %.0f us",
+              hrt_wctt(8, {0}, bus).us());
+
+  CsvWriter csv{"bench_slot_structure.csv"};
+  csv.header({"blocker_dlc", "blocker_us", "start_after_ready_us",
+              "start_after_lst_us", "delivery_offset_us"});
+
+  std::printf("\n  Table 1 — adversarial blocker just before ready time "
+              "(with ΔT_wait extension)\n");
+  std::printf("  %-12s %-14s %-18s %-16s %s\n", "blocker dlc", "blocker(us)",
+              "start-ready (us)", "start-LST (us)", "delivery-deadline (us)");
+  bench::rule();
+  bool all_by_lst = true;
+  bool all_zero_jitter = true;
+  for (int dlc = 0; dlc <= 8; ++dlc) {
+    const Result r = run_trial(dlc, /*with_extension=*/true);
+    std::printf("  %-12d %-14.1f %-18.1f %-16.1f %.3f\n", dlc, r.blocker_us,
+                r.start_after_ready_us, r.start_after_lst_us,
+                r.delivery_offset_us);
+    csv.row(dlc, r.blocker_us, r.start_after_ready_us, r.start_after_lst_us,
+            r.delivery_offset_us);
+    all_by_lst &= r.start_after_lst_us <= 0.0;
+    all_zero_jitter &= r.delivery_offset_us == 0.0;
+  }
+  bench::rule();
+  bench::note("transmission always started by LST: %s",
+              all_by_lst ? "YES (guarantee holds)" : "NO (!!)");
+  bench::note("delivery exactly at deadline in every case: %s",
+              all_zero_jitter ? "YES (zero middleware jitter)" : "NO (!!)");
+
+  std::printf("\n  Table 2 — ablation: message ready only at LST "
+              "(no ΔT_wait extension)\n");
+  std::printf("  %-22s %-18s %s\n", "readiness", "start-LST (us)",
+              "completion-deadline (us)");
+  bench::rule();
+  {
+    const Result with = run_trial(8, true);
+    const Result without = run_trial(8, false);
+    std::printf("  %-22s %-18.1f %.1f\n", "LST - ΔT_wait (paper)",
+                with.start_after_lst_us, with.delivery_offset_us);
+    std::printf("  %-22s %-18.1f %.1f\n", "LST only (ablation)",
+                without.start_after_lst_us, without.delivery_offset_us);
+    bench::rule();
+    bench::note("without the extension the blocker defers the start %.1f us",
+                without.start_after_lst_us);
+    bench::note("past LST and completion lands %.1f us after the deadline —",
+                without.delivery_offset_us);
+    bench::note("exactly the hazard Fig. 3's extended slot eliminates.");
+  }
+  return 0;
+}

@@ -1,0 +1,236 @@
+// Automotive scenario — the paper's motivating domain ("CAN ... is a
+// popular field bus ... particularly in the automotive area").
+//
+// One vehicle body network:
+//   nodes 1-4  wheel-speed sensors     -> HRT periodic, one slot each
+//   node 5     brake-by-wire pedal     -> HRT sporadic (slot reserved but
+//                                         often unused: reclaimed)
+//   node 6     body controller         -> subscribes to all of the above;
+//                                         publishes SRT dashboard updates
+//   node 7     dashboard               -> SRT subscriber
+//   node 8     diagnostics unit        -> NRT bulk download of a 16 KiB
+//                                         calibration image, running
+//                                         underneath everything else
+//
+// Run: ./build/examples/automotive
+
+#include <array>
+#include <cstdio>
+#include <memory>
+
+#include "core/hrtec.hpp"
+#include "core/nrtec.hpp"
+#include "core/scenario.hpp"
+#include "time/periodic.hpp"
+#include "core/srtec.hpp"
+#include "trace/metrics.hpp"
+#include "util/task_pool.hpp"
+
+using namespace rtec;
+using namespace rtec::literals;
+
+namespace {
+
+void every(TaskPool& tasks, Scenario& scn, Duration period,
+           std::function<void()> body) {
+  auto* loop = tasks.make();
+  *loop = [&scn, period, body = std::move(body), loop] {
+    body();
+    scn.sim().schedule_after(period, [loop] { (*loop)(); });
+  };
+  scn.sim().schedule_after(Duration::zero(), [loop] { (*loop)(); });
+}
+
+}  // namespace
+
+int main() {
+  TaskPool tasks;
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 5_ms;  // wheel speed every 5 ms
+  Scenario scn{cfg};
+
+  std::array<Node*, 4> wheels{};
+  for (NodeId i = 1; i <= 4; ++i)
+    wheels[i - 1] = &scn.add_node(i, {Duration::microseconds(i * 3), 20'000 * i, 1_us});
+  Node& pedal = scn.add_node(5, {Duration::microseconds(-5), -40'000, 1_us});
+  Node& body = scn.add_node(6, {Duration::microseconds(2), 10'000, 1_us});
+  Node& dash = scn.add_node(7, {Duration::microseconds(-2), -10'000, 1_us});
+  Node& diag = scn.add_node(8, {Duration::microseconds(1), 5'000, 1_us});
+
+  (void)scn.enable_clock_sync(body.id(), 400_us);
+
+  // --- reservations (offline configuration) ---------------------------
+  const std::array<Subject, 4> wheel_subjects{
+      subject_of("wheel/speed/fl"), subject_of("wheel/speed/fr"),
+      subject_of("wheel/speed/rl"), subject_of("wheel/speed/rr")};
+  for (std::size_t i = 0; i < 4; ++i) {
+    SlotSpec s;
+    s.lst_offset = 1_ms + Duration::microseconds(600) * static_cast<int>(i);
+    s.dlc = 2;
+    s.fault.omission_degree = 1;
+    s.etag = *scn.binding().bind(wheel_subjects[i]);
+    s.publisher = static_cast<NodeId>(i + 1);
+    if (!scn.calendar().reserve(s)) {
+      std::printf("wheel slot %zu rejected by admission test\n", i);
+      return 1;
+    }
+  }
+  const Subject brake_subject = subject_of("brake/command");
+  {
+    SlotSpec s;
+    s.lst_offset = 4_ms;
+    s.dlc = 1;
+    s.fault.omission_degree = 2;  // brake: highest redundancy
+    s.etag = *scn.binding().bind(brake_subject);
+    s.publisher = pedal.id();
+    s.periodic = false;  // sporadic: slot reclaimed when pedal idle
+    if (!scn.calendar().reserve(s)) {
+      std::puts("brake slot rejected");
+      return 1;
+    }
+  }
+  std::printf("calendar: %zu slots, %.1f%% of each round reserved\n",
+              scn.calendar().size(), scn.calendar().reserved_fraction() * 100);
+
+  scn.run_for(10_ms);  // sync warm-up
+
+  // --- wheel-speed publishers -----------------------------------------
+  std::array<std::unique_ptr<Hrtec>, 4> wheel_pubs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    wheel_pubs[i] = std::make_unique<Hrtec>(wheels[i]->middleware());
+    (void)wheel_pubs[i]->announce(wheel_subjects[i],
+                                  AttributeList{attr::Periodic{5_ms}}, nullptr);
+    Node* node = wheels[i];
+    Hrtec* chan = wheel_pubs[i].get();
+    auto* loop = tasks.make();
+    const auto speed0 = static_cast<int>(900 + 7 * i);
+    *loop = [node, chan, loop, rpm = speed0]() mutable {
+      Event e;
+      e.content = {static_cast<std::uint8_t>(rpm & 0xff),
+                   static_cast<std::uint8_t>(rpm >> 8)};
+      (void)chan->publish(std::move(e));
+      rpm += (rpm % 3) - 1;  // wander
+      node->clock().schedule_at_local(node->clock().now() + 5_ms,
+                                      [loop] { (*loop)(); });
+    };
+    (*loop)();
+  }
+
+  // --- body controller: HRT subscriber + SRT publisher ----------------
+  std::array<std::unique_ptr<Hrtec>, 4> wheel_subs;
+  std::array<int, 4> last_rpm{};
+  std::array<int, 4> wheel_rx{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    wheel_subs[i] = std::make_unique<Hrtec>(body.middleware());
+    Hrtec* chan = wheel_subs[i].get();
+    int* store = &last_rpm[i];
+    int* count = &wheel_rx[i];
+    (void)chan->subscribe(wheel_subjects[i], {},
+                          [chan, store, count] {
+                            if (const auto e = chan->getEvent()) {
+                              *store = e->content[0] | (e->content[1] << 8);
+                              ++*count;
+                            }
+                          },
+                          [i](const ExceptionInfo& info) {
+                            std::printf("  [body] wheel %zu: %s\n", i,
+                                        to_string(info.error).data());
+                          });
+  }
+
+  Hrtec brake_sub{body.middleware()};
+  (void)brake_sub.subscribe(
+      brake_subject, {},
+      [&] {
+        if (const auto e = brake_sub.getEvent())
+          std::printf("  [body] %8.3f ms: BRAKE level %d (delivered on time)\n",
+                      body.clock().now().ms(), e->content[0]);
+      },
+      nullptr);
+
+  const Subject dash_subject = subject_of("dash/summary");
+  Srtec dash_pub{body.middleware()};
+  (void)dash_pub.announce(dash_subject,
+                          AttributeList{attr::Deadline{20_ms},
+                                        attr::Expiration{50_ms}},
+                          [](const ExceptionInfo& e) {
+                            std::printf("  [body] dash update: %s\n",
+                                        to_string(e.error).data());
+                          });
+  every(tasks, scn, 10_ms, [&] {
+    Event e;
+    const int avg = (last_rpm[0] + last_rpm[1] + last_rpm[2] + last_rpm[3]) / 4;
+    e.content = {static_cast<std::uint8_t>(avg & 0xff),
+                 static_cast<std::uint8_t>(avg >> 8)};
+    (void)dash_pub.publish(std::move(e));
+  });
+
+  Srtec dash_sub{dash.middleware()};
+  int dash_updates = 0;
+  (void)dash_sub.subscribe(dash_subject, {},
+                           [&] {
+                             ++dash_updates;
+                             (void)dash_sub.getEvent();
+                           },
+                           nullptr);
+
+  // --- pedal: sporadic brake events ------------------------------------
+  Hrtec brake_pub{pedal.middleware()};
+  (void)brake_pub.announce(brake_subject, AttributeList{attr::Sporadic{5_ms}},
+                           nullptr);
+  // Driver brakes twice during the run.
+  for (const std::int64_t when_ms : {37, 81}) {
+    scn.sim().schedule_at(TimePoint::origin() + Duration::milliseconds(when_ms),
+                          [&brake_pub, when_ms] {
+                            Event e;
+                            e.content = {static_cast<std::uint8_t>(when_ms & 0x7f)};
+                            (void)brake_pub.publish(std::move(e));
+                            std::printf("  [pedal] brake pressed at %lld ms\n",
+                                        static_cast<long long>(when_ms));
+                          });
+  }
+
+  // --- diagnostics: NRT bulk download underneath ----------------------
+  const Subject calib_subject = subject_of("diag/calibration");
+  const AttributeList frag{attr::Fragmentation{true},
+                           attr::FixedPriority{254}};
+  Nrtec calib_pub{diag.middleware()};
+  (void)calib_pub.announce(calib_subject, frag, nullptr);
+  Nrtec calib_sub{body.middleware()};
+  (void)calib_sub.subscribe(calib_subject, frag,
+                            [&] {
+                              if (const auto e = calib_sub.getEvent())
+                                std::printf(
+                                    "  [body] %8.3f ms: calibration image "
+                                    "received (%zu bytes)\n",
+                                    body.clock().now().ms(), e->content.size());
+                            },
+                            nullptr);
+  {
+    Event image;
+    image.content.assign(16 * 1024, 0xC5);
+    (void)calib_pub.publish(std::move(image));
+  }
+
+  // --- run -------------------------------------------------------------
+  ClassUtilization util{scn.bus()};
+  scn.run_for(Duration::milliseconds(400));
+
+  std::puts("\n--- summary -------------------------------------------------");
+  for (std::size_t i = 0; i < 4; ++i)
+    std::printf("wheel %zu: rpm %d, %d readings delivered\n", i, last_rpm[i],
+                wheel_rx[i]);
+  std::printf("HRT totals at the body controller: %llu delivered, %llu missing\n",
+              static_cast<unsigned long long>(
+                  body.middleware().hrt().counters().delivered),
+              static_cast<unsigned long long>(
+                  body.middleware().hrt().counters().missing));
+  std::printf("dashboard updates: %d (deadline misses: %llu)\n", dash_updates,
+              static_cast<unsigned long long>(
+                  body.middleware().srt().counters().deadline_missed));
+  std::printf("bus utilization: HRT %.1f%%  SRT %.1f%%  NRT %.1f%%\n",
+              util.fraction(TrafficClass::kHrt) * 100,
+              util.fraction(TrafficClass::kSrt) * 100,
+              util.fraction(TrafficClass::kNrt) * 100);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Fault tolerance demonstration — time redundancy and its cost.
+//
+// Two HRT channels carry the same sensor value:
+//   "sensor/fragile"  reserved with omission degree 0 (no redundancy)
+//   "sensor/hardened" reserved with omission degree 2 (slot sized for
+//                     3 transmission attempts)
+// An EMI burst corrupts every frame between 100 ms and 101 ms, and random
+// 2% omission faults run throughout. The fragile channel loses instances;
+// the hardened one keeps its guarantee — and, because redundant copies are
+// suppressed on success, its extra reservation costs almost no bandwidth
+// when the bus is healthy (the paper's key claim in §3.2).
+//
+// Run: ./build/examples/fault_tolerance
+
+#include <cstdio>
+#include <memory>
+
+#include "core/hrtec.hpp"
+#include "core/scenario.hpp"
+#include "util/task_pool.hpp"
+
+using namespace rtec;
+using namespace rtec::literals;
+
+int main() {
+  TaskPool tasks;
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  Scenario scn{cfg};
+
+  Node& sensor = scn.add_node(1);
+  Node& sink = scn.add_node(2);
+
+  const Subject fragile = subject_of("sensor/fragile");
+  const Subject hardened = subject_of("sensor/hardened");
+  {
+    SlotSpec s;
+    s.lst_offset = 1_ms;
+    s.dlc = 2;
+    s.fault.omission_degree = 0;
+    s.etag = *scn.binding().bind(fragile);
+    s.publisher = sensor.id();
+    if (!scn.calendar().reserve(s)) return 1;
+  }
+  {
+    SlotSpec s;
+    s.lst_offset = 3_ms;
+    s.dlc = 2;
+    s.fault.omission_degree = 2;
+    s.etag = *scn.binding().bind(hardened);
+    s.publisher = sensor.id();
+    if (!scn.calendar().reserve(s)) return 1;
+  }
+
+  // Faults: 2% random omissions + a 1 ms burst at 100 ms.
+  auto random_faults = std::make_unique<RandomOmissionFaults>(0.02, 42);
+  auto burst = std::make_unique<BurstFaults>(TimePoint::origin() + 100_ms,
+                                             TimePoint::origin() + 101_ms);
+  auto composite = std::make_unique<CompositeFaults>();
+  composite->add(*random_faults);
+  composite->add(*burst);
+  // Scenario owns one model; keep the children alive alongside it.
+  struct Owning : FaultModel {
+    std::unique_ptr<FaultModel> a, b;
+    std::unique_ptr<CompositeFaults> all;
+    std::optional<double> corrupt(const FaultContext& ctx) override {
+      return all->corrupt(ctx);
+    }
+  };
+  auto owning = std::make_unique<Owning>();
+  owning->a = std::move(random_faults);
+  owning->b = std::move(burst);
+  owning->all = std::move(composite);
+  scn.set_fault_model(std::move(owning));
+
+  Hrtec fragile_pub{sensor.middleware()};
+  Hrtec hardened_pub{sensor.middleware()};
+  int fragile_failures = 0;
+  int hardened_failures = 0;
+  (void)fragile_pub.announce(fragile, AttributeList{attr::Periodic{10_ms}},
+                             [&](const ExceptionInfo& e) {
+                               if (e.error == ChannelError::kTransmissionFailed)
+                                 ++fragile_failures;
+                             });
+  (void)hardened_pub.announce(hardened, AttributeList{attr::Periodic{10_ms}},
+                              [&](const ExceptionInfo& e) {
+                                if (e.error == ChannelError::kTransmissionFailed)
+                                  ++hardened_failures;
+                              });
+
+  Hrtec fragile_sub{sink.middleware()};
+  Hrtec hardened_sub{sink.middleware()};
+  int fragile_rx = 0;
+  int fragile_missing = 0;
+  int hardened_rx = 0;
+  int hardened_missing = 0;
+  (void)fragile_sub.subscribe(fragile, AttributeList{attr::QueueCapacity{128}},
+                              [&] {
+                                ++fragile_rx;
+                                (void)fragile_sub.getEvent();
+                              },
+                              [&](const ExceptionInfo&) { ++fragile_missing; });
+  (void)hardened_sub.subscribe(hardened, AttributeList{attr::QueueCapacity{128}},
+                               [&] {
+                                 ++hardened_rx;
+                                 (void)hardened_sub.getEvent();
+                               },
+                               [&](const ExceptionInfo&) { ++hardened_missing; });
+
+  auto* loop = tasks.make();
+  *loop = [&, loop] {
+    Event a;
+    a.content = {1, 2};
+    (void)fragile_pub.publish(std::move(a));
+    Event b;
+    b.content = {3, 4};
+    (void)hardened_pub.publish(std::move(b));
+    scn.sim().schedule_after(10_ms, [loop] { (*loop)(); });
+  };
+  scn.sim().schedule_after(Duration::zero(), [loop] { (*loop)(); });
+
+  const int rounds = 100;
+  scn.run_for(10_ms * rounds + 1_ms);
+
+  const auto& pc = sensor.middleware().hrt().counters();
+  std::puts("channel    delivered  missing  tx-failures  redundant-copies");
+  std::printf("fragile    %9d  %7d  %11d            --\n", fragile_rx,
+              fragile_missing, fragile_failures);
+  std::printf("hardened   %9d  %7d  %11d  %12llu\n", hardened_rx,
+              hardened_missing, hardened_failures,
+              static_cast<unsigned long long>(pc.retries));
+  std::printf(
+      "\nOver %d rounds: the hardened channel masked the same faults the\n"
+      "fragile channel dropped, and used only %llu redundant transmissions\n"
+      "(suppressed whenever the first copy succeeded) — the reservation's\n"
+      "unused remainder was reclaimed by the bus automatically.\n",
+      rounds, static_cast<unsigned long long>(pc.retries));
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "baselines/ttcan.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "canbus/frame.hpp"
+
+namespace rtec {
+
+TtcanDriver::TtcanDriver(Simulator& sim, CanController& controller,
+                         const TtcanSchedule& schedule)
+    : sim_{sim}, controller_{controller}, schedule_{schedule} {
+  assert(schedule_.basic_cycle > Duration::zero());
+}
+
+void TtcanDriver::set_exclusive_source(ExclusiveSource source) {
+  exclusive_source_ = std::move(source);
+}
+
+void TtcanDriver::queue_async(const CanFrame& frame) {
+  async_.push_back(frame);
+}
+
+void TtcanDriver::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t i = 0; i < schedule_.windows.size(); ++i) arm(i, 0);
+}
+
+void TtcanDriver::arm(std::size_t index, std::uint64_t cycle) {
+  const TtcanWindow& w = schedule_.windows[index];
+  const TimePoint at = TimePoint::origin() +
+                       schedule_.basic_cycle * static_cast<std::int64_t>(cycle) +
+                       w.offset;
+  sim_.schedule_at(at, [this, index, cycle] {
+    on_window_open(index, cycle);
+    arm(index, cycle + 1);
+  });
+}
+
+void TtcanDriver::on_window_open(std::size_t index, std::uint64_t cycle) {
+  const TtcanWindow& w = schedule_.windows[index];
+  const TimePoint window_end = sim_.now() + w.length;
+
+  if (w.kind == TtcanWindow::Kind::kExclusive) {
+    if (w.owner != controller_.node() || !exclusive_source_) return;
+    const auto frame = exclusive_source_(index, cycle);
+    if (!frame) return;  // empty exclusive window: bandwidth lost by design
+
+    // Send all `copies` transmissions back-to-back, success or not — the
+    // TTCAN-style "fill the reserved slot" redundancy.
+    copy_sender_ = [this, frame](int remaining) {
+      if (remaining <= 0) return;
+      (void)controller_.submit(
+          *frame, TxMode::kSingleShot,
+          [this, remaining](CanController::MailboxId, const CanFrame&,
+                            bool success, TimePoint) {
+            if (success) ++exclusive_sent_;
+            copy_sender_(remaining - 1);
+          });
+    };
+    copy_sender_(w.copies);
+    return;
+  }
+
+  // Arbitration window: release queued async traffic, gated so no frame
+  // can overrun into the following exclusive window.
+  pump_async(index, window_end);
+}
+
+void TtcanDriver::pump_async(std::size_t index, TimePoint window_end) {
+  if (async_in_flight_ || async_.empty()) return;
+  const CanFrame frame = async_.front();
+  const Duration worst =
+      worst_case_frame_duration(frame.dlc, frame.extended, schedule_.bus) +
+      schedule_.bus.bit_time() * kIntermissionBits;
+  if (sim_.now() + worst > window_end) return;  // would not fit
+
+  const auto mb = controller_.submit(
+      frame, TxMode::kAutoRetransmit,
+      [this, index, window_end](CanController::MailboxId, const CanFrame&,
+                                bool success, TimePoint) {
+        async_in_flight_ = false;
+        if (success) {
+          ++async_sent_;
+          async_.pop_front();
+        }
+        pump_async(index, window_end);
+      });
+  if (!mb) return;
+  async_in_flight_ = true;
+
+  // Safety gate: if the frame has not left by the last safe start instant
+  // (it kept losing arbitration), pull it back for the next window.
+  const CanController::MailboxId mailbox = *mb;
+  sim_.schedule_at(window_end - worst, [this, mailbox] {
+    if (controller_.abort(mailbox)) async_in_flight_ = false;
+  });
+}
+
+}  // namespace rtec

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "canbus/controller.hpp"
+#include "sim/simulator.hpp"
+#include "util/time_types.hpp"
+
+/// \file ttcan.hpp
+/// TTCAN-like time-triggered baseline (Führer et al., iCC 2000), modelling
+/// exactly the two behaviours the paper contrasts with its own scheme
+/// (§3.2, §4):
+///
+///  1. *Exclusive windows* belong to one sender; no other node may start a
+///     transmission inside them — when the owner has nothing to send the
+///     window's bandwidth is lost (no reclamation).
+///  2. *Jitter avoidance by filling the slot*: the owner transmits its
+///     message (and all its redundant copies, up to the configured
+///     omission degree) regardless of earlier success — "this fills up the
+///     reserved slot and avoids jitter but for the price of valuable
+///     bandwidth".
+///  3. *Arbitration windows* are the only place asynchronous (soft/non
+///     real-time) traffic may contend, and a frame may only start if it is
+///     guaranteed to finish before the window closes.
+///
+/// The driver runs on the same bus/controller substrate as the event
+/// channel middleware, with a perfect global clock (TTCAN level-2 time
+/// sync is idealized away — this only *favours* the baseline).
+
+namespace rtec {
+
+struct TtcanWindow {
+  enum class Kind : std::uint8_t { kExclusive, kArbitration };
+  Kind kind = Kind::kArbitration;
+  Duration offset = Duration::zero();  ///< from basic-cycle start
+  Duration length = Duration::zero();
+  NodeId owner = 0;      ///< exclusive: the only permitted sender
+  int copies = 1;        ///< exclusive: redundant transmissions (k+1)
+};
+
+struct TtcanSchedule {
+  Duration basic_cycle = Duration::milliseconds(10);
+  BusConfig bus{};  ///< for worst-case fit checks in arbitration windows
+  std::vector<TtcanWindow> windows;
+};
+
+/// Per-node TTCAN driver: gates all transmissions of this node into the
+/// windows the schedule allows.
+class TtcanDriver {
+ public:
+  /// Called when an exclusive window owned by this node opens; returns the
+  /// frame to send, or nullopt when there is no fresh data (the window then
+  /// stays idle — that bandwidth is lost by design).
+  using ExclusiveSource = std::function<std::optional<CanFrame>(std::size_t window,
+                                                                std::uint64_t cycle)>;
+
+  TtcanDriver(Simulator& sim, CanController& controller,
+              const TtcanSchedule& schedule);
+
+  /// Registers the data source for exclusive windows owned by this node.
+  void set_exclusive_source(ExclusiveSource source);
+
+  /// Queues an asynchronous frame; it will be sent in the next arbitration
+  /// window with enough remaining room.
+  void queue_async(const CanFrame& frame);
+
+  void start();
+
+  [[nodiscard]] std::uint64_t exclusive_sent() const { return exclusive_sent_; }
+  [[nodiscard]] std::uint64_t async_sent() const { return async_sent_; }
+  [[nodiscard]] std::size_t async_backlog() const { return async_.size(); }
+
+ private:
+  void on_window_open(std::size_t index, std::uint64_t cycle);
+  void pump_async(std::size_t index, TimePoint window_end);
+  void arm(std::size_t index, std::uint64_t cycle);
+
+  Simulator& sim_;
+  CanController& controller_;
+  TtcanSchedule schedule_;
+  ExclusiveSource exclusive_source_;
+  /// The in-progress redundant-copy chain of the current exclusive window
+  /// (exclusive windows of one owner never overlap, so one slot suffices;
+  /// member storage keeps the self-referencing callable cycle-free).
+  std::function<void(int)> copy_sender_;
+  std::deque<CanFrame> async_;
+  bool async_in_flight_ = false;
+  std::uint64_t exclusive_sent_ = 0;
+  std::uint64_t async_sent_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace rtec

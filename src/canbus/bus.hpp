@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "canbus/can_types.hpp"
+#include "canbus/controller.hpp"
+#include "canbus/fault.hpp"
+#include "canbus/frame.hpp"
+#include "sim/simulator.hpp"
+#include "util/time_types.hpp"
+
+/// \file bus.hpp
+/// Shared CAN bus with CSMA/CR arbitration, modelled at frame granularity
+/// with bit-accurate durations.
+///
+/// Arbitration model: whenever the bus is free (after the 3-bit
+/// intermission) every controller with a pending mailbox offers its
+/// lowest-ID frame; the globally lowest identifier wins and transmits
+/// non-preemptively. Requests arriving during a transmission wait for the
+/// next arbitration point — exactly the granularity at which real CAN
+/// decides bus access. Frame durations include the exact per-frame stuff
+/// bits, so all timing properties (ΔT_wait, slot sizing, promotion windows)
+/// are reproduced at 1-bit-time resolution.
+///
+/// Error semantics: a corrupted transmission occupies the bus up to the
+/// error position plus a worst-case active error frame; all receivers
+/// consistently drop it, and the sender is told the attempt failed. A
+/// successful end-of-frame is delivered to every other online controller
+/// and confirms to the sender that *all* operational nodes received it —
+/// CAN's consistency property, which the paper exploits to suppress
+/// redundant HRT copies.
+
+namespace rtec {
+
+class CanBus {
+ public:
+  /// One completed bus occupancy (frame attempt), for observers.
+  struct FrameEvent {
+    NodeId sender = 0;
+    CanFrame frame;
+    TimePoint start;       ///< SOF time
+    TimePoint end;         ///< end of frame / error delimiter
+    bool success = false;  ///< false: corrupted, consistently dropped
+    int wire_bits = 0;     ///< bits the bus was occupied (incl. error frame)
+    int attempt = 0;       ///< sender-side attempt number
+  };
+  using Observer = std::function<void(const FrameEvent&)>;
+
+  explicit CanBus(Simulator& sim, BusConfig cfg = {});
+
+  CanBus(const CanBus&) = delete;
+  CanBus& operator=(const CanBus&) = delete;
+
+  /// Attaches a controller; the bus does not own it.
+  void attach(CanController& c);
+
+  /// Installs the fault model (not owned); nullptr = fault-free.
+  void set_fault_model(FaultModel* faults) { faults_ = faults; }
+
+  void add_observer(Observer o) { observers_.push_back(std::move(o)); }
+
+  [[nodiscard]] const BusConfig& config() const { return cfg_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] bool idle() const { return state_ == State::kIdle; }
+
+  // --- accounting (over the whole run) ---
+  [[nodiscard]] Duration busy_time() const { return busy_time_; }
+  [[nodiscard]] Duration error_time() const { return error_time_; }
+  [[nodiscard]] std::uint64_t frames_ok() const { return frames_ok_; }
+  [[nodiscard]] std::uint64_t frames_error() const { return frames_error_; }
+
+  /// Fraction of [0, now) the bus carried anything (frames or error frames).
+  [[nodiscard]] double utilization() const;
+
+  /// Called by controllers when a mailbox becomes pending.
+  void notify_tx_request();
+
+ private:
+  enum class State { kIdle, kTransmitting, kIntermission };
+
+  void schedule_arbitration();
+  void arbitrate();
+  void finish_transmission(CanController* sender, CanController::MailboxId mb,
+                           CanFrame frame, TimePoint start, bool success,
+                           int wire_bits, int attempt);
+  void end_intermission();
+
+  Simulator& sim_;
+  BusConfig cfg_;
+  std::vector<CanController*> controllers_;
+  FaultModel* faults_ = nullptr;
+  std::vector<Observer> observers_;
+
+  State state_ = State::kIdle;
+  bool arbitration_scheduled_ = false;
+
+  Duration busy_time_ = Duration::zero();
+  Duration error_time_ = Duration::zero();
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t frames_error_ = 0;
+};
+
+}  // namespace rtec

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/time_types.hpp"
+
+/// \file can_types.hpp
+/// Shared basic types for the CAN simulator.
+
+namespace rtec {
+
+/// Node identity on the bus. The middleware maps this into the 7-bit TxNode
+/// field of the 29-bit identifier, so valid values are 0..127.
+using NodeId = std::uint8_t;
+
+inline constexpr NodeId kMaxNodeId = 127;
+
+/// Static bus parameters.
+struct BusConfig {
+  /// Nominal bit rate in bits per second. CAN 2.0 tops out at 1 Mbit/s,
+  /// the rate the paper assumes (154 us longest frame).
+  std::int64_t bitrate_bps = 1'000'000;
+
+  [[nodiscard]] constexpr Duration bit_time() const {
+    return Duration::nanoseconds(1'000'000'000 / bitrate_bps);
+  }
+};
+
+/// CAN interframe space (intermission) in bit times (ISO 11898 / Bosch 2.0).
+inline constexpr int kIntermissionBits = 3;
+
+/// Active error frame: 6-bit error flag + up to 6 echoed flag bits from
+/// other nodes + 8-bit error delimiter. We charge the worst case (20 bits)
+/// to the bus whenever a transmission is corrupted.
+inline constexpr int kErrorFrameBits = 20;
+
+}  // namespace rtec

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "canbus/can_types.hpp"
+#include "canbus/frame.hpp"
+#include "util/random.hpp"
+#include "util/time_types.hpp"
+
+/// \file fault.hpp
+/// Fault injection for the CAN simulator.
+///
+/// The paper's fault model is *network omission faults and temporary node
+/// faults*: a transmission is corrupted, every node (including the sender)
+/// observes the error frame, the frame is consistently dropped everywhere,
+/// and the sender knows it failed. HRT guarantees hold under an assumed
+/// omission degree k (at most k consecutive corruptions of one message);
+/// E2 probes both sides of that assumption.
+
+namespace rtec {
+
+/// Everything a fault model may condition on.
+struct FaultContext {
+  const CanFrame& frame;
+  NodeId sender;
+  TimePoint start;   ///< transmission start (perfect time)
+  int attempt;       ///< 1-based attempt number for this submission
+};
+
+/// Decides, per transmission attempt, whether the frame is corrupted.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Returns the fraction of the frame (0, 1] at which the error hits, or
+  /// nullopt for a clean transmission. The fraction determines how much bus
+  /// time the aborted attempt consumes before the error frame.
+  virtual std::optional<double> corrupt(const FaultContext& ctx) = 0;
+};
+
+/// Fault-free bus.
+class NoFaults final : public FaultModel {
+ public:
+  std::optional<double> corrupt(const FaultContext&) override { return std::nullopt; }
+};
+
+/// Independent per-transmission omission faults with probability `p`; the
+/// error position is uniform over the frame.
+class RandomOmissionFaults final : public FaultModel {
+ public:
+  RandomOmissionFaults(double p, std::uint64_t seed) : p_{p}, rng_{seed} {}
+
+  std::optional<double> corrupt(const FaultContext&) override {
+    if (!rng_.bernoulli(p_)) return std::nullopt;
+    return 0.05 + 0.95 * rng_.uniform();  // somewhere past the first bits
+  }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Every transmission inside [from, to) is corrupted — models EMI bursts.
+class BurstFaults final : public FaultModel {
+ public:
+  BurstFaults(TimePoint from, TimePoint to) : from_{from}, to_{to} {}
+
+  std::optional<double> corrupt(const FaultContext& ctx) override {
+    if (ctx.start >= from_ && ctx.start < to_) return 0.5;
+    return std::nullopt;
+  }
+
+ private:
+  TimePoint from_;
+  TimePoint to_;
+};
+
+/// Deterministic rule-based faults, e.g. "corrupt the first k attempts of
+/// every frame with priority 0" — the workhorse of the HRT redundancy tests.
+class ScriptedFaults final : public FaultModel {
+ public:
+  using Rule = std::function<bool(const FaultContext&)>;
+
+  void add_rule(Rule r) { rules_.push_back(std::move(r)); }
+
+  std::optional<double> corrupt(const FaultContext& ctx) override {
+    for (const auto& rule : rules_)
+      if (rule(ctx)) return 0.5;
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// First child reporting a fault wins.
+class CompositeFaults final : public FaultModel {
+ public:
+  void add(FaultModel& child) { children_.push_back(&child); }
+
+  std::optional<double> corrupt(const FaultContext& ctx) override {
+    for (FaultModel* c : children_)
+      if (auto f = c->corrupt(ctx)) return f;
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<FaultModel*> children_;
+};
+
+}  // namespace rtec

@@ -1,0 +1,104 @@
+#include "canbus/frame.hpp"
+
+#include <cassert>
+
+#include "util/crc15.hpp"
+
+namespace rtec {
+
+namespace {
+
+void append_bit(FrameBits& fb, bool bit) {
+  assert(fb.count < static_cast<int>(fb.bits.size()));
+  fb.bits[static_cast<std::size_t>(fb.count++)] = bit;
+}
+
+void append_field(FrameBits& fb, std::uint32_t value, int width) {
+  for (int i = width - 1; i >= 0; --i) append_bit(fb, ((value >> i) & 1u) != 0);
+}
+
+}  // namespace
+
+FrameBits frame_stuffable_bits(const CanFrame& f) {
+  assert(f.dlc <= 8);
+  FrameBits fb;
+  append_bit(fb, false);  // SOF (dominant)
+  if (f.extended) {
+    assert(f.id <= kMaxExtendedId);
+    append_field(fb, f.id >> 18, 11);  // ID-28..18
+    append_bit(fb, true);              // SRR (recessive)
+    append_bit(fb, true);              // IDE = 1 (extended)
+    append_field(fb, f.id & 0x3ffff, 18);  // ID-17..0
+    append_bit(fb, f.rtr);
+    append_bit(fb, false);  // r1
+    append_bit(fb, false);  // r0
+  } else {
+    assert(f.id <= kMaxBaseId);
+    append_field(fb, f.id, 11);
+    append_bit(fb, f.rtr);
+    append_bit(fb, false);  // IDE = 0 (base)
+    append_bit(fb, false);  // r0
+  }
+  append_field(fb, f.dlc, 4);
+  const int data_bytes = f.rtr ? 0 : f.dlc;
+  for (int i = 0; i < data_bytes; ++i)
+    append_field(fb, f.data[static_cast<std::size_t>(i)], 8);
+
+  const std::uint16_t crc =
+      crc15({fb.bits.data(), static_cast<std::size_t>(fb.count)});
+  append_field(fb, crc, 15);
+  return fb;
+}
+
+int count_stuff_bits(std::span<const bool> region) {
+  // Simulate the transmitter: after five consecutive identical bits a
+  // complement bit is inserted; the inserted bit participates in subsequent
+  // run counting.
+  int stuffed = 0;
+  int run = 0;
+  bool run_bit = false;
+  for (bool b : region) {
+    if (run == 0 || b == run_bit) {
+      run_bit = (run == 0) ? b : run_bit;
+      ++run;
+    } else {
+      run_bit = b;
+      run = 1;
+    }
+    if (run == 5) {
+      ++stuffed;
+      // The stuff bit is the complement and starts a new run of length 1.
+      run_bit = !run_bit;
+      run = 1;
+    }
+  }
+  return stuffed;
+}
+
+int frame_wire_bits(const CanFrame& f) {
+  const FrameBits fb = frame_stuffable_bits(f);
+  const int stuff =
+      count_stuff_bits({fb.bits.data(), static_cast<std::size_t>(fb.count)});
+  // Unstuffed tail: CRC delimiter + ACK slot + ACK delimiter + 7-bit EOF.
+  constexpr int kTailBits = 1 + 1 + 1 + 7;
+  return fb.count + stuff + kTailBits;
+}
+
+Duration frame_duration(const CanFrame& f, const BusConfig& cfg) {
+  return cfg.bit_time() * frame_wire_bits(f);
+}
+
+int worst_case_wire_bits(int dlc, bool extended) {
+  assert(dlc >= 0 && dlc <= 8);
+  const int g = extended ? 54 : 34;  // stuffable control + CRC bits
+  const int stuffable = g + 8 * dlc;
+  const int max_stuff = (stuffable - 1) / 4;
+  constexpr int kTailBits = 10;
+  return stuffable + max_stuff + kTailBits;
+}
+
+Duration worst_case_frame_duration(int dlc, bool extended, const BusConfig& cfg) {
+  return cfg.bit_time() * worst_case_wire_bits(dlc, extended);
+}
+
+}  // namespace rtec

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "canbus/can_types.hpp"
+#include "sched/id_codec.hpp"
+#include "sched/wctt.hpp"
+#include "util/time_types.hpp"
+
+/// \file attributes.hpp
+/// The attribute lists of the paper's API (Figs 1 and 2). Channel
+/// attributes "abstract the properties of the underlying communication
+/// network and dissemination scheme" (periodicity, reliability, data
+/// rates, fragmentation, filtering scope); event attributes describe one
+/// occurrence (deadline, expiration, context). The paper leaves the list
+/// untyped; here each attribute is a small struct and the list is a
+/// type-checked variant container, so a misconfigured channel fails at
+/// announce() rather than at runtime.
+
+namespace rtec {
+namespace attr {
+
+/// HRT: the channel publishes periodically with this period. The calendar
+/// must contain slots matching the period (the admission layer checks the
+/// reservation exists; see Middleware::announce_hrt).
+struct Periodic {
+  Duration period;
+};
+
+/// HRT: sporadic publications with a minimum inter-arrival time; reserved
+/// slots may legitimately go unused (and are reclaimed by lower classes).
+struct Sporadic {
+  Duration min_interarrival;
+};
+
+/// Reserved message size in data bytes (0..8 for RT channels).
+struct MessageSize {
+  int dlc = 8;
+};
+
+/// HRT reliability: number of omission faults the channel must mask by
+/// time redundancy (slot is sized for omission_degree + 1 attempts).
+struct Reliability {
+  int omission_degree = 0;
+};
+
+/// HRT ablation knob: transmit every redundant copy even after a
+/// successful attempt — the TTCAN-style "fill the reserved slot"
+/// behaviour the paper argues against (§3.2). Default (absent) is the
+/// paper's scheme: suppress remaining copies on confirmed success and let
+/// the bus reclaim the slot remainder. Exists so experiments can measure
+/// exactly what the suppression buys (E4).
+struct AlwaysTransmitCopies {};
+
+/// SRT: default relative transmission deadline applied to events that do
+/// not carry their own.
+struct Deadline {
+  Duration relative;
+};
+
+/// SRT: default relative expiration (validity interval). An event not
+/// transmitted by deadline+... is dropped when its expiration passes.
+struct Expiration {
+  Duration relative;
+};
+
+/// Subscriber-side filter: only deliver events originating on the local
+/// network segment (paper §2.2.1's multi-network filtering example).
+struct LocalOnly {};
+
+/// NRT: fixed priority; must lie within the NRT band [251, 255] — the
+/// middleware rejects anything that could interfere with RT traffic.
+struct FixedPriority {
+  Priority priority = kNrtPriorityMax;
+};
+
+/// NRT: the channel carries bulk payloads chained from 8-byte fragments
+/// ("fragmentation is defined during the announcement of the event channel
+/// as an entry in the attribute_list", §2.2.3).
+struct Fragmentation {
+  bool enabled = true;
+};
+
+/// Capacity of the subscriber-side event queue (the "predefined memory
+/// area" of §2.2.1) in events.
+struct QueueCapacity {
+  std::size_t events = 16;
+};
+
+}  // namespace attr
+
+using Attribute =
+    std::variant<attr::Periodic, attr::Sporadic, attr::MessageSize,
+                 attr::Reliability, attr::AlwaysTransmitCopies, attr::Deadline,
+                 attr::Expiration, attr::LocalOnly, attr::FixedPriority,
+                 attr::Fragmentation, attr::QueueCapacity>;
+
+/// Ordered attribute list with typed lookup.
+class AttributeList {
+ public:
+  AttributeList() = default;
+  AttributeList(std::initializer_list<Attribute> attrs) : attrs_{attrs} {}
+
+  AttributeList& add(Attribute a) {
+    attrs_.push_back(std::move(a));
+    return *this;
+  }
+
+  /// First attribute of type A, if present.
+  template <typename A>
+  [[nodiscard]] std::optional<A> get() const {
+    for (const Attribute& a : attrs_)
+      if (const A* p = std::get_if<A>(&a)) return *p;
+    return std::nullopt;
+  }
+
+  template <typename A>
+  [[nodiscard]] bool has() const {
+    return get<A>().has_value();
+  }
+
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace rtec

@@ -1,0 +1,27 @@
+#include "core/binding.hpp"
+
+namespace rtec {
+
+Expected<Etag, ChannelError> BindingRegistry::bind(Subject subject) {
+  if (const auto it = by_subject_.find(subject); it != by_subject_.end())
+    return it->second;
+  if (next_ > kMaxEtag) return Unexpected{ChannelError::kBindingFailed};
+  const Etag etag = next_++;
+  by_subject_.emplace(subject, etag);
+  by_etag_.emplace(etag, subject);
+  return etag;
+}
+
+std::optional<Etag> BindingRegistry::lookup(Subject subject) const {
+  const auto it = by_subject_.find(subject);
+  if (it == by_subject_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Subject> BindingRegistry::subject_of(Etag etag) const {
+  const auto it = by_etag_.find(etag);
+  if (it == by_etag_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rtec

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/errors.hpp"
+#include "core/subject.hpp"
+#include "sched/id_codec.hpp"
+#include "util/expected.hpp"
+
+/// \file binding.hpp
+/// Subject→etag binding (the *dynamic binding* optimization of §2.1).
+/// Binding relates the 64-bit subject of an event channel to the 14-bit
+/// etag field of the CAN identifier, so the communication controller's
+/// acceptance filters do the subject filtering in hardware and "the
+/// subject filtering does not put any burden to the embedded computational
+/// component".
+///
+/// The paper delegates binding to the configuration protocol of [13],
+/// executed during the configuration phase. This registry models that
+/// phase's outcome: a consistent, system-wide subject→etag map that every
+/// node queries at announce/subscribe time. Low etags are reserved for
+/// infrastructure channels (clock sync).
+
+namespace rtec {
+
+class BindingRegistry {
+ public:
+  /// Returns the etag bound to `subject`, creating a fresh binding when the
+  /// subject is seen for the first time. Fails when the 14-bit etag space
+  /// is exhausted.
+  Expected<Etag, ChannelError> bind(Subject subject);
+
+  /// Existing binding, if any (no side effects).
+  [[nodiscard]] std::optional<Etag> lookup(Subject subject) const;
+
+  /// Reverse lookup for diagnostics.
+  [[nodiscard]] std::optional<Subject> subject_of(Etag etag) const;
+
+  [[nodiscard]] std::size_t size() const { return by_subject_.size(); }
+
+ private:
+  std::map<Subject, Etag> by_subject_;
+  std::map<Etag, Subject> by_etag_;
+  Etag next_ = kFirstApplicationEtag;
+};
+
+}  // namespace rtec

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "core/event.hpp"
+#include "util/bytes.hpp"
+
+/// \file content.hpp
+/// Typed access to event content — §2: "The content of an event carries
+/// the data and is represented as a structured set of functional
+/// parameters. The fields of the content are accessible by specific
+/// methods."
+///
+/// ContentWriter appends little-endian fields into an event's payload;
+/// ContentReader extracts them positionally. Both are bounds-checked:
+/// reads past the payload return nullopt instead of garbage, so a
+/// malformed (or differently-versioned) publisher cannot crash a
+/// subscriber. RT channels hold at most 8 bytes, NRT bulk events any
+/// size.
+
+namespace rtec {
+
+class ContentWriter {
+ public:
+  explicit ContentWriter(Event& event) : event_{event} {}
+
+  ContentWriter& u8(std::uint8_t v) {
+    event_.content.push_back(v);
+    return *this;
+  }
+  ContentWriter& u16(std::uint16_t v) {
+    grow(2);
+    store_le16({event_.content.data() + event_.content.size() - 2, 2}, v);
+    return *this;
+  }
+  ContentWriter& u32(std::uint32_t v) {
+    grow(4);
+    store_le32({event_.content.data() + event_.content.size() - 4, 4}, v);
+    return *this;
+  }
+  ContentWriter& u64(std::uint64_t v) {
+    grow(8);
+    store_le64({event_.content.data() + event_.content.size() - 8, 8}, v);
+    return *this;
+  }
+  ContentWriter& i8(std::int8_t v) { return u8(static_cast<std::uint8_t>(v)); }
+  ContentWriter& i16(std::int16_t v) { return u16(static_cast<std::uint16_t>(v)); }
+  ContentWriter& i32(std::int32_t v) { return u32(static_cast<std::uint32_t>(v)); }
+  ContentWriter& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 single, little-endian.
+  ContentWriter& f32(float v) {
+    std::uint32_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    return u32(bits);
+  }
+  ContentWriter& bytes(std::string_view raw) {
+    event_.content.insert(event_.content.end(), raw.begin(), raw.end());
+    return *this;
+  }
+
+ private:
+  void grow(std::size_t n) { event_.content.resize(event_.content.size() + n); }
+  Event& event_;
+};
+
+class ContentReader {
+ public:
+  explicit ContentReader(const Event& event) : event_{event} {}
+
+  [[nodiscard]] std::optional<std::uint8_t> u8() {
+    if (!fits(1)) return std::nullopt;
+    return event_.content[pos_++];
+  }
+  [[nodiscard]] std::optional<std::uint16_t> u16() {
+    if (!fits(2)) return std::nullopt;
+    const auto v = load_le16({event_.content.data() + pos_, 2});
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::optional<std::uint32_t> u32() {
+    if (!fits(4)) return std::nullopt;
+    const auto v = load_le32({event_.content.data() + pos_, 4});
+    pos_ += 4;
+    return v;
+  }
+  [[nodiscard]] std::optional<std::uint64_t> u64() {
+    if (!fits(8)) return std::nullopt;
+    const auto v = load_le64({event_.content.data() + pos_, 8});
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] std::optional<std::int8_t> i8() {
+    const auto v = u8();
+    if (!v) return std::nullopt;
+    return static_cast<std::int8_t>(*v);
+  }
+  [[nodiscard]] std::optional<std::int16_t> i16() {
+    const auto v = u16();
+    if (!v) return std::nullopt;
+    return static_cast<std::int16_t>(*v);
+  }
+  [[nodiscard]] std::optional<std::int32_t> i32() {
+    const auto v = u32();
+    if (!v) return std::nullopt;
+    return static_cast<std::int32_t>(*v);
+  }
+  [[nodiscard]] std::optional<std::int64_t> i64() {
+    const auto v = u64();
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+  [[nodiscard]] std::optional<float> f32() {
+    const auto bits = u32();
+    if (!bits) return std::nullopt;
+    float v;
+    __builtin_memcpy(&v, &*bits, sizeof v);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const {
+    return event_.content.size() - pos_;
+  }
+  /// True when every read so far succeeded and nothing is left over —
+  /// subscribers use this to validate a payload's exact shape.
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  [[nodiscard]] bool fits(std::size_t n) const {
+    return pos_ + n <= event_.content.size();
+  }
+  const Event& event_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rtec

@@ -1,0 +1,30 @@
+#include "core/errors.hpp"
+
+namespace rtec {
+
+std::string_view to_string(ChannelError e) {
+  switch (e) {
+    case ChannelError::kNotAnnounced: return "not_announced";
+    case ChannelError::kAlreadyAnnounced: return "already_announced";
+    case ChannelError::kNotSubscribed: return "not_subscribed";
+    case ChannelError::kAlreadySubscribed: return "already_subscribed";
+    case ChannelError::kNoReservation: return "no_reservation";
+    case ChannelError::kInvalidAttribute: return "invalid_attribute";
+    case ChannelError::kPayloadTooLarge: return "payload_too_large";
+    case ChannelError::kPriorityOutOfRange: return "priority_out_of_range";
+    case ChannelError::kBindingFailed: return "binding_failed";
+    case ChannelError::kBusOff: return "bus_off";
+    case ChannelError::kDeadlineMissed: return "deadline_missed";
+    case ChannelError::kExpired: return "expired";
+    case ChannelError::kMissingMessage: return "missing_message";
+    case ChannelError::kPublishMissed: return "publish_missed";
+    case ChannelError::kPublishTooLate: return "publish_too_late";
+    case ChannelError::kTransmissionFailed: return "transmission_failed";
+    case ChannelError::kEventOverwritten: return "event_overwritten";
+    case ChannelError::kReassemblyFailed: return "reassembly_failed";
+    case ChannelError::kQueueOverflow: return "queue_overflow";
+  }
+  return "unknown";
+}
+
+}  // namespace rtec

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "core/subject.hpp"
+#include "util/time_types.hpp"
+
+/// \file errors.hpp
+/// Error codes returned by channel operations and the exception-
+/// notification mechanism of the paper's API: exceptional runtime
+/// situations (missed deadline, expired validity, missing HRT message,
+/// ...) are reported asynchronously through the exception handler passed
+/// to announce()/subscribe(), enabling "corrective application related
+/// actions" (§5).
+
+namespace rtec {
+
+enum class ChannelError : std::uint8_t {
+  // --- API/setup errors (returned synchronously) ---
+  kNotAnnounced,       ///< publish before announce
+  kAlreadyAnnounced,   ///< duplicate announce on one channel object
+  kNotSubscribed,      ///< cancelSubscription/getEvent without subscribe
+  kAlreadySubscribed,  ///< duplicate subscribe on one channel object
+  kNoReservation,      ///< HRT: calendar has no slot for (subject, node)
+  kInvalidAttribute,   ///< attribute list inconsistent for the class
+  kPayloadTooLarge,    ///< RT event exceeds the reserved message size
+  kPriorityOutOfRange, ///< NRT fixed priority outside [251, 255]
+  kBindingFailed,      ///< subject<->etag binding could not be established
+  kBusOff,             ///< local controller is bus-off
+
+  // --- runtime exceptions (delivered via ExceptionHandler) ---
+  kDeadlineMissed,     ///< SRT: transmission deadline passed, still queued
+  kExpired,            ///< SRT: validity expired; removed from send queue
+  kMissingMessage,     ///< HRT subscriber: reserved slot elapsed, no event
+  kPublishMissed,      ///< HRT publisher: periodic slot had nothing to send
+  kPublishTooLate,     ///< HRT publisher: event arrived after latest ready
+  kTransmissionFailed, ///< HRT: faults exceeded the assumed omission degree
+  kEventOverwritten,   ///< HRT publisher: unsent event replaced by newer one
+  kReassemblyFailed,   ///< NRT subscriber: fragment stream inconsistent
+  kQueueOverflow,      ///< subscriber event queue overflowed (event lost)
+};
+
+/// Human-readable tag for logs and test diagnostics.
+[[nodiscard]] std::string_view to_string(ChannelError e);
+
+/// Context delivered to exception handlers.
+struct ExceptionInfo {
+  ChannelError error{};
+  Subject subject;
+  TimePoint when;  ///< local time at which the condition was detected
+};
+
+using ExceptionHandler = std::function<void(const ExceptionInfo&)>;
+
+/// Asynchronous notification callback: invoked after the middleware stored
+/// the event in the subscription's queue; the application retrieves it with
+/// getEvent() (paper §2.2.1).
+using NotificationHandler = std::function<void()>;
+
+}  // namespace rtec

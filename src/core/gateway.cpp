@@ -1,0 +1,106 @@
+#include "core/gateway.hpp"
+
+namespace rtec {
+
+Expected<void, ChannelError> Gateway::bridge_srt(Subject subject,
+                                                 Duration fwd_deadline,
+                                                 Duration fwd_expiration) {
+  const auto ab = make_srt_half(a_, b_, subject, fwd_deadline, fwd_expiration,
+                                &Counters::forwarded_a_to_b);
+  if (!ab) return ab;
+  return make_srt_half(b_, a_, subject, fwd_deadline, fwd_expiration,
+                       &Counters::forwarded_b_to_a);
+}
+
+Expected<void, ChannelError> Gateway::make_srt_half(
+    Node& from, Node& to, Subject subject, Duration fwd_deadline,
+    Duration fwd_expiration, std::uint64_t Counters::*counter) {
+  auto bridge = std::make_unique<SrtBridge>();
+  bridge->sub = std::make_unique<Srtec>(from.middleware());
+  bridge->pub = std::make_unique<Srtec>(to.middleware());
+
+  const auto announced = bridge->pub->announce(
+      subject,
+      AttributeList{attr::Deadline{fwd_deadline},
+                    attr::Expiration{fwd_expiration}},
+      [this](const ExceptionInfo&) { ++counters_.forward_failures; });
+  if (!announced) return announced;
+
+  Srtec* sub = bridge->sub.get();
+  Srtec* pub = bridge->pub.get();
+  // LocalOnly is essential on the gateway's own subscription: without it
+  // the A-side gateway stack would pick up events forwarded *into* A by
+  // the B→A half and bounce them back (a two-gateway loop; with one
+  // gateway object the sender-exclusion already prevents it, but the
+  // filter keeps the design loop-free for any topology).
+  const auto subscribed = bridge->sub->subscribe(
+      subject, AttributeList{attr::LocalOnly{}},
+      [this, sub, pub, counter] {
+        while (auto event = sub->getEvent()) {
+          Event fwd;
+          fwd.content = std::move(event->content);
+          // Fresh timing attributes on the destination segment's timeline
+          // come from the publish-side channel defaults.
+          if (pub->publish(std::move(fwd))) {
+            ++(counters_.*counter);
+          } else {
+            ++counters_.forward_failures;
+          }
+        }
+      },
+      nullptr);
+  if (!subscribed) return subscribed;
+
+  srt_bridges_.push_back(std::move(bridge));
+  return {};
+}
+
+Expected<void, ChannelError> Gateway::bridge_nrt(Subject subject,
+                                                 bool fragmented,
+                                                 Priority priority) {
+  const auto ab = make_nrt_half(a_, b_, subject, fragmented, priority,
+                                &Counters::forwarded_a_to_b);
+  if (!ab) return ab;
+  return make_nrt_half(b_, a_, subject, fragmented, priority,
+                       &Counters::forwarded_b_to_a);
+}
+
+Expected<void, ChannelError> Gateway::make_nrt_half(
+    Node& from, Node& to, Subject subject, bool fragmented, Priority priority,
+    std::uint64_t Counters::*counter) {
+  auto bridge = std::make_unique<NrtBridge>();
+  bridge->sub = std::make_unique<Nrtec>(from.middleware());
+  bridge->pub = std::make_unique<Nrtec>(to.middleware());
+
+  AttributeList attrs{attr::FixedPriority{priority}};
+  if (fragmented) attrs.add(attr::Fragmentation{true});
+  const auto announced = bridge->pub->announce(
+      subject, attrs,
+      [this](const ExceptionInfo&) { ++counters_.forward_failures; });
+  if (!announced) return announced;
+
+  Nrtec* sub = bridge->sub.get();
+  Nrtec* pub = bridge->pub.get();
+  AttributeList sub_attrs{attr::LocalOnly{}};
+  if (fragmented) sub_attrs.add(attr::Fragmentation{true});
+  const auto subscribed = bridge->sub->subscribe(
+      subject, sub_attrs,
+      [this, sub, pub, counter] {
+        while (auto event = sub->getEvent()) {
+          Event fwd;
+          fwd.content = std::move(event->content);
+          if (pub->publish(std::move(fwd))) {
+            ++(counters_.*counter);
+          } else {
+            ++counters_.forward_failures;
+          }
+        }
+      },
+      nullptr);
+  if (!subscribed) return subscribed;
+
+  nrt_bridges_.push_back(std::move(bridge));
+  return {};
+}
+
+}  // namespace rtec

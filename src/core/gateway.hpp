@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/nrtec.hpp"
+#include "core/srtec.hpp"
+
+/// \file gateway.hpp
+/// Event-channel gateway between two network segments (the architecture
+/// of Kaiser/Brudna's WFCS 2002 interoperability paper, referenced as
+/// §2.2.1's multi-network scenario: "publishers and subscribers are
+/// connected by a channel which spans multiple networks").
+///
+/// A gateway is a node with one protocol stack per attached network. For
+/// each bridged subject it subscribes on one side and re-publishes on the
+/// other. Because a CAN sender never receives its own frames, the
+/// opposite-direction subscription on the same controller cannot echo a
+/// forwarded event back — bidirectional bridging is loop-free by
+/// construction.
+///
+/// Subscribers can exclude forwarded traffic with attr::LocalOnly: the
+/// scenario registers the gateway's TxNode system-wide
+/// (Scenario::register_gateway), and receiving middlewares tag frames
+/// from it as remote-origin. HRT channels are deliberately *not*
+/// bridgeable: a reservation is only meaningful inside one network's
+/// calendar (forward an HRT stream by subscribing at the gateway and
+/// publishing into a slot reserved for the gateway on the other side).
+
+namespace rtec {
+
+class Gateway {
+ public:
+  /// \param side_a node on network A  \param side_b node on network B
+  Gateway(Node& side_a, Node& side_b) : a_{side_a}, b_{side_b} {}
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  struct Counters {
+    std::uint64_t forwarded_a_to_b = 0;
+    std::uint64_t forwarded_b_to_a = 0;
+    std::uint64_t forward_failures = 0;
+  };
+
+  /// Bridges an SRT subject in both directions. Forwarded events get a
+  /// fresh transmission deadline `fwd_deadline` (and expiration
+  /// `fwd_expiration`) relative to the forwarding instant — the origin
+  /// network's deadline is not meaningful on the next segment's timeline.
+  Expected<void, ChannelError> bridge_srt(Subject subject,
+                                          Duration fwd_deadline,
+                                          Duration fwd_expiration);
+
+  /// Bridges an NRT subject in both directions (fragmented payloads are
+  /// reassembled here and re-fragmented on the far side).
+  Expected<void, ChannelError> bridge_nrt(Subject subject, bool fragmented,
+                                          Priority priority);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct SrtBridge {
+    std::unique_ptr<Srtec> sub;
+    std::unique_ptr<Srtec> pub;
+  };
+  struct NrtBridge {
+    std::unique_ptr<Nrtec> sub;
+    std::unique_ptr<Nrtec> pub;
+  };
+
+  Expected<void, ChannelError> make_srt_half(Node& from, Node& to,
+                                             Subject subject,
+                                             Duration fwd_deadline,
+                                             Duration fwd_expiration,
+                                             std::uint64_t Counters::*counter);
+  Expected<void, ChannelError> make_nrt_half(Node& from, Node& to,
+                                             Subject subject, bool fragmented,
+                                             Priority priority,
+                                             std::uint64_t Counters::*counter);
+
+  Node& a_;
+  Node& b_;
+  std::vector<std::unique_ptr<SrtBridge>> srt_bridges_;
+  std::vector<std::unique_ptr<NrtBridge>> nrt_bridges_;
+  Counters counters_;
+};
+
+}  // namespace rtec

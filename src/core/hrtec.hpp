@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+
+#include "core/middleware.hpp"
+
+/// \file hrtec.hpp
+/// Hard real-time event channel — the application-facing class of Fig. 1:
+///
+///   class hrtec {
+///     hrtec(void);
+///     int announce(subject, attribute_list, exception_handler);
+///     int publish(event);
+///     int subscribe(subject, attribute_list, event_queue, not_handler,
+///                   exception_handler);
+///     int cancelSubscription(void);
+///   }
+///
+/// Modernizations (documented deviations): `int` error returns become
+/// Expected<void, ChannelError>; the event_queue argument becomes an
+/// attr::QueueCapacity attribute (the middleware owns the "predefined
+/// memory area" and hands events out via getEvent()); a channel object is
+/// bound to a node's middleware at construction.
+
+namespace rtec {
+
+class Hrtec {
+ public:
+  explicit Hrtec(Middleware& mw) : mw_{mw} {}
+  Hrtec(const Hrtec&) = delete;
+  Hrtec& operator=(const Hrtec&) = delete;
+  ~Hrtec();
+
+  /// Publisher setup: binds the subject, verifies the offline slot
+  /// reservation for (subject, this node) and arms the slot machinery.
+  Expected<void, ChannelError> announce(Subject subject,
+                                        const AttributeList& attrs,
+                                        ExceptionHandler exception_handler);
+
+  /// Releases the publisher registration (local operation).
+  Expected<void, ChannelError> cancelPublication();
+
+  /// Stages an event for the next reserved slot instance. Must be called
+  /// before the slot's latest ready time (LST − ΔT_wait) to make that
+  /// instance; later publications ride the following instance.
+  Expected<void, ChannelError> publish(Event event);
+
+  /// Subscriber setup: binds the subject and arms the per-slot reception
+  /// windows with missing-message detection.
+  Expected<void, ChannelError> subscribe(Subject subject,
+                                         const AttributeList& attrs,
+                                         NotificationHandler not_handler,
+                                         ExceptionHandler exception_handler);
+
+  /// Strictly local: releases the resources in the local event handler
+  /// (§2.2.1). Only subscribers can dynamically leave a HRTEC.
+  Expected<void, ChannelError> cancelSubscription();
+
+  /// Retrieves the next delivered event from the subscription's queue
+  /// (called from the notification handler, §2.2.1).
+  [[nodiscard]] std::optional<Event> getEvent();
+
+  /// The channel's guaranteed transport latency (§2.2: "the interval
+  /// between the point in time when an event message becomes ready and
+  /// its delivery"): ΔT_wait + WCTT of the channel's widest reserved
+  /// slot. Lets applications reason about the non-functional attributes
+  /// of the channel without touching network internals. Requires a prior
+  /// announce() or subscribe().
+  [[nodiscard]] Expected<Duration, ChannelError> guaranteed_latency() const;
+
+  [[nodiscard]] std::optional<Subject> subject() const { return subject_; }
+
+ private:
+  Middleware& mw_;
+  std::optional<Subject> subject_;
+  std::optional<Etag> announced_;
+  HrtEngine::Subscription* sub_ = nullptr;
+};
+
+}  // namespace rtec

@@ -1,0 +1,65 @@
+#include "core/nrtec.hpp"
+
+namespace rtec {
+
+Nrtec::~Nrtec() {
+  if (announced_) (void)mw_.nrt().cancel_publication(*announced_);
+  if (sub_ != nullptr) mw_.nrt().cancel_subscription(sub_);
+}
+
+Expected<void, ChannelError> Nrtec::announce(Subject subject,
+                                             const AttributeList& attrs,
+                                             ExceptionHandler exception_handler) {
+  if (announced_) return Unexpected{ChannelError::kAlreadyAnnounced};
+  const auto etag = mw_.bind(subject);
+  if (!etag) return Unexpected{etag.error()};
+  const auto r =
+      mw_.nrt().announce(subject, *etag, attrs, std::move(exception_handler));
+  if (!r) return r;
+  subject_ = subject;
+  announced_ = *etag;
+  return {};
+}
+
+Expected<void, ChannelError> Nrtec::cancelPublication() {
+  if (!announced_) return Unexpected{ChannelError::kNotAnnounced};
+  const auto r = mw_.nrt().cancel_publication(*announced_);
+  announced_.reset();
+  return r;
+}
+
+Expected<void, ChannelError> Nrtec::publish(Event event) {
+  if (!announced_) return Unexpected{ChannelError::kNotAnnounced};
+  event.subject = *subject_;
+  return mw_.nrt().publish(*announced_, std::move(event));
+}
+
+Expected<void, ChannelError> Nrtec::subscribe(Subject subject,
+                                              const AttributeList& attrs,
+                                              NotificationHandler not_handler,
+                                              ExceptionHandler exception_handler) {
+  if (sub_ != nullptr) return Unexpected{ChannelError::kAlreadySubscribed};
+  const auto etag = mw_.bind(subject);
+  if (!etag) return Unexpected{etag.error()};
+  auto r = mw_.nrt().subscribe(subject, *etag, attrs, std::move(not_handler),
+                               std::move(exception_handler));
+  if (!r) return Unexpected{r.error()};
+  mw_.add_subscription_filter(*etag);  // hardware routing for this subject
+  subject_ = subject;
+  sub_ = *r;
+  return {};
+}
+
+Expected<void, ChannelError> Nrtec::cancelSubscription() {
+  if (sub_ == nullptr) return Unexpected{ChannelError::kNotSubscribed};
+  mw_.nrt().cancel_subscription(sub_);
+  sub_ = nullptr;
+  return {};
+}
+
+std::optional<Event> Nrtec::getEvent() {
+  if (sub_ == nullptr) return std::nullopt;
+  return sub_->queue.pop();
+}
+
+}  // namespace rtec

@@ -1,0 +1,135 @@
+#include "core/scenario.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "sched/calendar_io.hpp"
+
+namespace rtec {
+
+namespace {
+Calendar::Config with_bus(Calendar::Config cal, BusConfig bus) {
+  cal.bus = bus;
+  return cal;
+}
+}  // namespace
+
+Scenario::Scenario(Config cfg) : cfg_{cfg} {
+  assert(cfg.networks >= 1);
+  for (int i = 0; i < cfg.networks; ++i)
+    networks_.push_back(std::make_unique<Network>(
+        sim_, cfg.bus, with_bus(cfg.calendar, cfg.bus)));
+}
+
+void Scenario::set_fault_model(std::unique_ptr<FaultModel> model, int network) {
+  Network& net = *networks_.at(static_cast<std::size_t>(network));
+  net.faults = std::move(model);
+  net.bus.set_fault_model(net.faults.get());
+}
+
+Expected<void, std::string> Scenario::load_calendar_image(
+    const std::string& text, int network) {
+  const auto parsed = calendar_from_text(text);
+  if (!parsed)
+    return Unexpected{"line " + std::to_string(parsed.error().line) + ": " +
+                      parsed.error().message};
+  Network& net = *networks_.at(static_cast<std::size_t>(network));
+  if (parsed->config().round_length != net.calendar.config().round_length ||
+      parsed->config().gap != net.calendar.config().gap ||
+      parsed->config().bus.bitrate_bps !=
+          net.calendar.config().bus.bitrate_bps)
+    return Unexpected{std::string{
+        "image round/gap/bitrate disagree with the scenario configuration"}};
+  for (std::size_t i = 0; i < parsed->size(); ++i) {
+    if (!net.calendar.reserve(parsed->slot(i)))
+      return Unexpected{"slot " + std::to_string(i) +
+                        " conflicts with existing reservations"};
+  }
+  return {};
+}
+
+Node& Scenario::add_node(NodeId id, Node::ClockParams clock_params,
+                         int network) {
+  assert(!nodes_.contains(id));
+  Network& net = *networks_.at(static_cast<std::size_t>(network));
+  Middleware::Config mw_cfg;
+  mw_cfg.srt_map = cfg_.srt_map;
+  mw_cfg.network_id = static_cast<std::uint8_t>(network);
+  auto node = std::make_unique<Node>(sim_, net.bus, binding_, &net.calendar,
+                                     id, clock_params, mw_cfg);
+  for (NodeId gw : net.gateways) node->middleware().add_gateway_node(gw);
+  Node& ref = *node;
+  nodes_.emplace(id, std::move(node));
+  network_of_.emplace(id, network);
+  return ref;
+}
+
+Node& Scenario::node(NodeId id) {
+  const auto it = nodes_.find(id);
+  assert(it != nodes_.end());
+  return *it->second;
+}
+
+Expected<void, AdmissionError> Scenario::enable_clock_sync(NodeId master,
+                                                           Duration lst_offset,
+                                                           bool rate_correction) {
+  const int network = network_of_.at(master);
+  Network& net = *networks_.at(static_cast<std::size_t>(network));
+
+  // One slot wide enough for the dlc-0 reference frame plus the dlc-8
+  // follow-up: a dlc-8 window with omission degree 1 over-covers both.
+  SlotSpec slot;
+  slot.lst_offset = lst_offset;
+  slot.dlc = 8;
+  slot.fault.omission_degree = 1;
+  slot.etag = kSyncRefEtag;
+  slot.publisher = master;
+  slot.periodic = true;
+  const auto reserved = net.calendar.reserve(slot);
+  if (!reserved) return Unexpected{reserved.error()};
+  const std::size_t slot_index = *reserved;
+
+  SyncConfig sync_cfg;
+  sync_cfg.rate_correction = rate_correction;
+  sync_cfg.period = net.calendar.config().round_length;
+  sync_cfg.ref_frame_id = encode_can_id({kHrtPriority, master, kSyncRefEtag});
+  sync_cfg.followup_frame_id =
+      encode_can_id({kHrtPriority, master, kSyncFollowEtag});
+
+  Node& master_node = node(master);
+  SyncMaster& sm = master_node.make_sync_master(sync_cfg);
+  for (auto& [id, n] : nodes_) {
+    if (id != master && network_of_.at(id) == network)
+      n->make_sync_slave(sync_cfg);
+  }
+
+  const Calendar::Instance first =
+      net.calendar.instance_at_or_after(slot_index, master_node.clock().now());
+  sm.start_at_local(first.ready);
+  return {};
+}
+
+void Scenario::register_gateway(NodeId gateway_node, int network) {
+  Network& net = *networks_.at(static_cast<std::size_t>(network));
+  net.gateways.push_back(gateway_node);
+  for (auto& [id, n] : nodes_) {
+    if (network_of_.at(id) == network)
+      n->middleware().add_gateway_node(gateway_node);
+  }
+}
+
+Duration Scenario::clock_precision() const {
+  Duration worst = Duration::zero();
+  for (auto it_a = nodes_.begin(); it_a != nodes_.end(); ++it_a) {
+    auto it_b = it_a;
+    for (++it_b; it_b != nodes_.end(); ++it_b) {
+      const TimePoint a = it_a->second->clock().now();
+      const TimePoint b = it_b->second->clock().now();
+      const Duration d = a > b ? a - b : b - a;
+      if (d > worst) worst = d;
+    }
+  }
+  return worst;
+}
+
+}  // namespace rtec

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "canbus/bus.hpp"
+#include "canbus/fault.hpp"
+#include "core/node.hpp"
+#include "sched/calendar.hpp"
+
+/// \file scenario.hpp
+/// Scenario — one simulated deployment: the kernel, one or more CAN
+/// network segments (each with its own bus and reservation calendar), the
+/// subject binding registry (global: subjects are system-wide names, as
+/// in the paper's multi-network architecture [12]) and the set of nodes.
+/// All examples, tests and benches build their worlds through this class.
+
+namespace rtec {
+
+class Scenario {
+ public:
+  struct Config {
+    BusConfig bus{};
+    /// Round length / ΔG_min used for every network's calendar; the
+    /// BusConfig inside is overwritten with `bus` at construction.
+    Calendar::Config calendar{};
+    /// SRT deadline→priority map, identical on all nodes.
+    DeadlinePriorityMap::Config srt_map{};
+    /// Number of network segments (field buses). Nodes attach to exactly
+    /// one; gateways attach to two via core/gateway.hpp.
+    int networks = 1;
+  };
+
+  Scenario() : Scenario(Config{}) {}
+  explicit Scenario(Config cfg);
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] int network_count() const { return static_cast<int>(networks_.size()); }
+  [[nodiscard]] CanBus& bus(int network = 0) { return networks_.at(static_cast<std::size_t>(network))->bus; }
+  [[nodiscard]] Calendar& calendar(int network = 0) { return networks_.at(static_cast<std::size_t>(network))->calendar; }
+  [[nodiscard]] BindingRegistry& binding() { return binding_; }
+
+  /// Installs a fault model on one network (owned by the scenario).
+  void set_fault_model(std::unique_ptr<FaultModel> model, int network = 0);
+  [[nodiscard]] FaultModel* fault_model(int network = 0) {
+    return networks_.at(static_cast<std::size_t>(network))->faults.get();
+  }
+
+  /// Loads a configuration image (sched/calendar_io.hpp) into a network's
+  /// calendar: every slot is re-admitted; bus/round/gap settings of the
+  /// image must match the scenario's (nodes must agree on them).
+  Expected<void, std::string> load_calendar_image(const std::string& text,
+                                                  int network = 0);
+
+  /// Adds a node to a network segment. Node ids are unique system-wide.
+  Node& add_node(NodeId id, Node::ClockParams clock_params = {},
+                 int network = 0);
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Network segment a node lives on.
+  [[nodiscard]] int network_of(NodeId id) const { return network_of_.at(id); }
+
+  /// Reserves a calendar slot for the sync round on `network` (etag
+  /// kSyncRefEtag, publisher `master`, sized to carry reference +
+  /// follow-up with one retry margin), makes `master` the sync master and
+  /// every other node *on that network* a slave, and starts rounds at the
+  /// slot's ready time. Call after adding that network's nodes.
+  /// `rate_correction` toggles the slaves' drift-compensation servo
+  /// (kept on in deployments; E11 ablates it for coasting behaviour).
+  Expected<void, AdmissionError> enable_clock_sync(NodeId master,
+                                                   Duration lst_offset,
+                                                   bool rate_correction = true);
+
+  /// Marks `gateway_node` (already added to `network`) as a forwarding
+  /// gateway: frames it sends are treated as remote-origin by every node
+  /// of that network (drives the LocalOnly subscriber filter). Applies to
+  /// nodes present now and added later.
+  void register_gateway(NodeId gateway_node, int network);
+
+  /// Largest pairwise disagreement of all node clocks right now — the
+  /// precision Π that ΔG_min must dominate.
+  [[nodiscard]] Duration clock_precision() const;
+
+  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+  void run_until(TimePoint t) { sim_.run_until(t); }
+
+ private:
+  struct Network {
+    Network(Simulator& sim, BusConfig bus_cfg, Calendar::Config cal_cfg)
+        : bus{sim, bus_cfg}, calendar{cal_cfg} {}
+    CanBus bus;
+    Calendar calendar;
+    std::unique_ptr<FaultModel> faults;
+    std::vector<NodeId> gateways;
+  };
+
+  Config cfg_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<Network>> networks_;
+  BindingRegistry binding_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::map<NodeId, int> network_of_;
+};
+
+}  // namespace rtec

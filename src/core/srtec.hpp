@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+
+#include "core/middleware.hpp"
+
+/// \file srtec.hpp
+/// Soft real-time event channel — the application-facing class of Fig. 2.
+/// Structurally similar to HRTEC but without reservations: events carry a
+/// transmission deadline and an expiration (validity interval) in their
+/// attributes (or inherit channel defaults from attr::Deadline /
+/// attr::Expiration), are scheduled EDF on the bus, and the exception
+/// handler reports kDeadlineMissed / kExpired for awareness (§2.2.2).
+
+namespace rtec {
+
+class Srtec {
+ public:
+  explicit Srtec(Middleware& mw) : mw_{mw} {}
+  Srtec(const Srtec&) = delete;
+  Srtec& operator=(const Srtec&) = delete;
+  ~Srtec();
+
+  Expected<void, ChannelError> announce(Subject subject,
+                                        const AttributeList& attrs,
+                                        ExceptionHandler exception_handler);
+
+  /// Fig. 2 lists cancelPublication() explicitly for SRTECs (no network
+  /// resources are reserved, so this is purely local bookkeeping).
+  Expected<void, ChannelError> cancelPublication();
+
+  /// Queues the event for EDF transmission. `event.attributes.deadline`
+  /// and `.expiration` may be absolute local times; TimePoint::max()
+  /// applies the channel defaults.
+  Expected<void, ChannelError> publish(Event event);
+
+  Expected<void, ChannelError> subscribe(Subject subject,
+                                         const AttributeList& attrs,
+                                         NotificationHandler not_handler,
+                                         ExceptionHandler exception_handler);
+  Expected<void, ChannelError> cancelSubscription();
+
+  [[nodiscard]] std::optional<Event> getEvent();
+  [[nodiscard]] std::optional<Subject> subject() const { return subject_; }
+
+ private:
+  Middleware& mw_;
+  std::optional<Subject> subject_;
+  std::optional<Etag> announced_;
+  SrtEngine::Subscription* sub_ = nullptr;
+};
+
+}  // namespace rtec

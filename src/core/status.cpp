@@ -1,0 +1,74 @@
+#include "core/status.hpp"
+
+#include <cstdio>
+
+namespace rtec {
+
+namespace {
+void line(std::string& out, const char* fmt, auto... args) {
+  char buf[200];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  out += buf;
+  out += '\n';
+}
+}  // namespace
+
+std::string middleware_status(const Middleware& mw) {
+  std::string out;
+  line(out, "node %u middleware:", static_cast<unsigned>(mw.node()));
+  const auto& h = mw.hrt().counters();
+  line(out,
+       "  hrt: published %llu sent_ok %llu retries %llu failed %llu "
+       "publish_missed %llu | delivered %llu missing %llu stray %llu",
+       static_cast<unsigned long long>(h.published),
+       static_cast<unsigned long long>(h.sent_ok),
+       static_cast<unsigned long long>(h.retries),
+       static_cast<unsigned long long>(h.send_failed),
+       static_cast<unsigned long long>(h.publish_missed),
+       static_cast<unsigned long long>(h.delivered),
+       static_cast<unsigned long long>(h.missing),
+       static_cast<unsigned long long>(h.stray_frames));
+  const auto& s = mw.srt().counters();
+  line(out,
+       "  srt: published %llu sent %llu (by deadline %llu) missed %llu "
+       "expired %llu | promos %llu (blocked %llu) preempt %llu | queue %zu",
+       static_cast<unsigned long long>(s.published),
+       static_cast<unsigned long long>(s.sent),
+       static_cast<unsigned long long>(s.sent_by_deadline),
+       static_cast<unsigned long long>(s.deadline_missed),
+       static_cast<unsigned long long>(s.expired),
+       static_cast<unsigned long long>(s.promotions),
+       static_cast<unsigned long long>(s.promotion_blocked),
+       static_cast<unsigned long long>(s.preemptions),
+       mw.srt().queue_length());
+  const auto& n = mw.nrt().counters();
+  line(out,
+       "  nrt: published %llu frames %llu messages %llu failed %llu | "
+       "delivered %llu reasm_failed %llu | backlog %zu",
+       static_cast<unsigned long long>(n.published),
+       static_cast<unsigned long long>(n.frames_sent),
+       static_cast<unsigned long long>(n.messages_sent),
+       static_cast<unsigned long long>(n.send_failed),
+       static_cast<unsigned long long>(n.delivered),
+       static_cast<unsigned long long>(n.reassembly_failed),
+       mw.nrt().backlog_frames());
+  line(out, "  rx frames seen: %llu",
+       static_cast<unsigned long long>(mw.rx_frames_seen()));
+  return out;
+}
+
+std::string node_status(const Node& node) {
+  std::string out;
+  const CanController& ctl = node.controller();
+  char head[120];
+  std::snprintf(head, sizeof head,
+                "node %u: local clock %.3f ms, TEC %d REC %d%s%s\n",
+                static_cast<unsigned>(node.id()), node.clock().now().ms(),
+                ctl.tec(), ctl.rec(), ctl.bus_off() ? " BUS-OFF" : "",
+                ctl.error_passive() ? " error-passive" : "");
+  out += head;
+  out += middleware_status(node.middleware());
+  return out;
+}
+
+}  // namespace rtec

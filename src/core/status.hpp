@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "core/middleware.hpp"
+#include "core/node.hpp"
+
+/// \file status.hpp
+/// Human-readable status dumps of a node's middleware — the "what is this
+/// node doing" debugging primitive. Used by examples (RTEC_LOG=info) and
+/// handy from a debugger.
+
+namespace rtec {
+
+/// Multi-line summary of a middleware's engines: per-class counters,
+/// queue depths, controller error state.
+[[nodiscard]] std::string middleware_status(const Middleware& mw);
+
+/// Status of a whole node (adds clock reading and sync role).
+[[nodiscard]] std::string node_status(const Node& node);
+
+}  // namespace rtec

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file subject.hpp
+/// Subjects — the content tags of the subject-based addressing scheme
+/// (paper §1, §2). A subject is "a tag related to the content of an event
+/// ... represented by a unique identifier". Applications typically derive
+/// subjects from stable names ("vehicle/wheel_speed/front_left"); the
+/// binding protocol later maps each subject to a short network etag.
+
+namespace rtec {
+
+/// Unique identifier of an event type / event channel.
+struct Subject {
+  std::uint64_t uid = 0;
+
+  friend bool operator==(const Subject&, const Subject&) = default;
+  friend auto operator<=>(const Subject&, const Subject&) = default;
+};
+
+/// Derives a subject from a stable textual name (FNV-1a, 64-bit). Collision
+/// probability is negligible for the system sizes a field bus supports; the
+/// binding registry additionally rejects two different names mapping to one
+/// uid.
+[[nodiscard]] constexpr Subject subject_of(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Subject{h};
+}
+
+}  // namespace rtec

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "core/event.hpp"
+
+/// \file subscription.hpp
+/// Subscriber-side event buffering: the "predefined memory area" of §2.2.1
+/// in which the middleware stores an event before invoking the
+/// application's notification handler, which then retrieves it with
+/// getEvent().
+
+namespace rtec {
+
+/// Bounded FIFO of events with a capacity fixed at subscribe time.
+class EventQueue {
+ public:
+  explicit EventQueue(std::size_t capacity) : buf_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// False (event dropped) when full — surfaced as kQueueOverflow.
+  [[nodiscard]] bool push(Event e) {
+    if (full()) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(e);
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Event> pop() {
+    if (empty()) return std::nullopt;
+    Event e = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return e;
+  }
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// State common to subscriptions of every channel class.
+struct SubscriptionBase {
+  Subject subject;
+  std::uint16_t etag = 0;
+  bool local_only = false;
+  EventQueue queue;
+  NotificationHandler notify;
+  ExceptionHandler on_exception;
+
+  SubscriptionBase(Subject s, std::uint16_t tag, std::size_t queue_capacity)
+      : subject{s}, etag{tag}, queue{queue_capacity} {}
+
+  /// Stores + notifies; raises kQueueOverflow when the application is not
+  /// draining fast enough.
+  void deliver(Event e, TimePoint now) {
+    if (!queue.push(std::move(e))) {
+      if (on_exception)
+        on_exception({ChannelError::kQueueOverflow, subject, now});
+      return;
+    }
+    if (notify) notify();
+  }
+};
+
+}  // namespace rtec

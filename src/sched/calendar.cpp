@@ -1,0 +1,103 @@
+#include "sched/calendar.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtec {
+
+Calendar::Calendar(Config cfg)
+    : cfg_{cfg}, t_wait_{max_blocking_time(cfg.bus)} {
+  assert(cfg.round_length > Duration::zero());
+  assert(cfg.gap >= Duration::zero());
+}
+
+SlotTiming Calendar::timing_of(const SlotSpec& spec) const {
+  SlotTiming t;
+  t.lst_offset = spec.lst_offset;
+  t.ready_offset = spec.lst_offset - t_wait_;
+  t.deadline_offset = spec.lst_offset + hrt_wctt(spec.dlc, spec.fault, cfg_.bus);
+  return t;
+}
+
+SlotTiming Calendar::timing(std::size_t i) const {
+  assert(i < slots_.size());
+  return timing_of(slots_[i]);
+}
+
+Expected<std::size_t, AdmissionError> Calendar::reserve(const SlotSpec& spec) {
+  if (spec.dlc < 0 || spec.dlc > 8 || spec.etag > kMaxEtag ||
+      spec.publisher > kMaxNodeId || spec.fault.omission_degree < 0 ||
+      spec.period_rounds < 1 || spec.phase_round < 0 ||
+      spec.phase_round >= spec.period_rounds)
+    return Unexpected{AdmissionError::kBadSpec};
+
+  const SlotTiming t = timing_of(spec);
+  if (t.ready_offset < Duration::zero() ||
+      t.deadline_offset > cfg_.round_length)
+    return Unexpected{AdmissionError::kWindowOutsideRound};
+
+  // Pairwise separation, circular over the round boundary. Two windows on
+  // the round circle are disjoint with gap >= ΔG_min iff the forward gap
+  // from each window's end to the other's start is >= ΔG_min *and* the two
+  // gaps plus the two window lengths tile the whole round (the consistency
+  // condition rejects containment/equality, where both "gaps" wrap).
+  const std::int64_t round_ns = cfg_.round_length.ns();
+  auto fwd = [round_ns](Duration from, Duration to) {
+    std::int64_t d = (to - from).ns() % round_ns;
+    if (d < 0) d += round_ns;
+    return d;
+  };
+  for (const SlotSpec& other : slots_) {
+    const SlotTiming o = timing_of(other);
+    const std::int64_t gap_to = fwd(o.deadline_offset, t.ready_offset);
+    const std::int64_t gap_from = fwd(t.deadline_offset, o.ready_offset);
+    const std::int64_t len_t = (t.deadline_offset - t.ready_offset).ns();
+    const std::int64_t len_o = (o.deadline_offset - o.ready_offset).ns();
+    const bool consistent = gap_to + gap_from + len_t + len_o == round_ns;
+    if (!consistent || gap_to < cfg_.gap.ns() || gap_from < cfg_.gap.ns())
+      return Unexpected{AdmissionError::kOverlap};
+  }
+
+  slots_.push_back(spec);
+  return slots_.size() - 1;
+}
+
+double Calendar::reserved_fraction() const {
+  Duration sum = Duration::zero();
+  for (const SlotSpec& s : slots_) {
+    const SlotTiming t = timing_of(s);
+    sum += (t.deadline_offset - t.ready_offset) + cfg_.gap;
+  }
+  return static_cast<double>(sum.ns()) /
+         static_cast<double>(cfg_.round_length.ns());
+}
+
+Calendar::Instance Calendar::instance_at_or_after(std::size_t i,
+                                                  TimePoint after) const {
+  assert(i < slots_.size());
+  const SlotSpec& spec = slots_[i];
+  const SlotTiming t = timing(i);
+  const std::int64_t round_ns = cfg_.round_length.ns();
+  // A sub-rate slot (period_rounds = m) only carries instances in rounds
+  // r with r % m == phase; its effective period is m rounds.
+  const std::int64_t period_ns = round_ns * spec.period_rounds;
+  const std::int64_t first_ready =
+      t.ready_offset.ns() + round_ns * spec.phase_round;
+
+  std::int64_t n = 0;
+  const std::int64_t delta = after.ns() - first_ready;
+  if (delta > 0) n = (delta + period_ns - 1) / period_ns;  // ceil
+
+  Instance inst;
+  inst.round = static_cast<std::uint64_t>(spec.phase_round +
+                                          n * spec.period_rounds);
+  const TimePoint round_start =
+      TimePoint::origin() +
+      cfg_.round_length * static_cast<std::int64_t>(inst.round);
+  inst.ready = round_start + t.ready_offset;
+  inst.lst = round_start + t.lst_offset;
+  inst.deadline = round_start + t.deadline_offset;
+  return inst;
+}
+
+}  // namespace rtec

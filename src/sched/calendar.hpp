@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "canbus/can_types.hpp"
+#include "sched/id_codec.hpp"
+#include "sched/wctt.hpp"
+#include "util/expected.hpp"
+#include "util/time_types.hpp"
+
+/// \file calendar.hpp
+/// The reservation calendar for hard real-time event channels (paper §3.1):
+/// communication is organized in rounds; a round is divided into time slots
+/// assigned to HRTECs. The calendar corresponds to the Round Descriptor
+/// List (RODL) of TTP. Reservations are made offline; the admission test
+/// verifies them before any reservation is confirmed.
+///
+/// Each slot is specified by its Latest Start Time (LST) within the round.
+/// Derived window (Fig. 3):
+///
+///    ready = LST − ΔT_wait      message must be in the controller here
+///    [ready ............ LST]  absorbs one non-preemptable blocker
+///    [LST ........ deadline ]  WCTT under the slot's fault assumption
+///
+/// Adjacent windows must be separated by at least ΔG_min, the worst-case
+/// disagreement of any two synchronized node clocks, so that slot owners
+/// can never overlap even with maximally skewed clocks.
+
+namespace rtec {
+
+/// One HRT slot reservation. A channel with multiple publishers needs one
+/// slot per publishing node (§3.1); a channel with a higher rate than the
+/// round may reserve multiple slots per round; a channel *slower* than the
+/// round declares `period_rounds` > 1 and only has instances every m-th
+/// round (the window is still reserved each round by the admission test —
+/// conservative, but the unused instances are reclaimed by lower-priority
+/// traffic anyway, which is the protocol's whole point).
+struct SlotSpec {
+  Duration lst_offset = Duration::zero();  ///< LST relative to round start
+  int dlc = 8;                             ///< reserved message size
+  FaultAssumption fault;                   ///< omission degree the slot absorbs
+  Etag etag = 0;                           ///< bound subject of the channel
+  NodeId publisher = 0;                    ///< the only node allowed to send here
+  bool periodic = true;  ///< sporadic slots may legitimately stay unused
+  int period_rounds = 1; ///< instances every m-th round (m >= 1)
+  int phase_round = 0;   ///< which round of the m-cycle carries the instance
+};
+
+/// Derived absolute offsets of a slot within the round.
+struct SlotTiming {
+  Duration ready_offset;     ///< LST − ΔT_wait
+  Duration lst_offset;       ///< guaranteed latest transmission start
+  Duration deadline_offset;  ///< LST + WCTT: transmission & delivery deadline
+};
+
+enum class AdmissionError : std::uint8_t {
+  kBadSpec,             ///< dlc/etag/node out of range
+  kWindowOutsideRound,  ///< ready < 0 or deadline > round length
+  kOverlap,             ///< violates window separation >= ΔG_min
+};
+
+class Calendar {
+ public:
+  struct Config {
+    Duration round_length = Duration::milliseconds(10);
+    /// ΔG_min: minimal gap between adjacent windows; the paper assumes a
+    /// conservative 40 µs for its clock-sync quality.
+    Duration gap = Duration::microseconds(40);
+    BusConfig bus;
+  };
+
+  explicit Calendar(Config cfg);
+
+  /// Admission test + reservation (paper §3.1: "the correctness of the
+  /// reservations regarding timing conflicts and temporal overlap are
+  /// checked by an admission test ... before any new reservation is
+  /// confirmed"). Returns the slot index on success.
+  Expected<std::size_t, AdmissionError> reserve(const SlotSpec& spec);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] const SlotSpec& slot(std::size_t i) const { return slots_[i]; }
+  [[nodiscard]] SlotTiming timing(std::size_t i) const;
+  [[nodiscard]] SlotTiming timing_of(const SlotSpec& spec) const;
+
+  /// ΔT_wait for this bus: the non-preemptable blocking any slot absorbs.
+  [[nodiscard]] Duration t_wait() const { return t_wait_; }
+
+  /// Fraction of the round covered by reserved windows (incl. gaps) — the
+  /// "conservative worst-case share" the paper argues can be reclaimed.
+  [[nodiscard]] double reserved_fraction() const;
+
+  /// One concrete occurrence of a slot on a clock's timeline.
+  struct Instance {
+    std::uint64_t round = 0;
+    TimePoint ready;     ///< latest ready time
+    TimePoint lst;       ///< latest start time
+    TimePoint deadline;  ///< transmission & delivery deadline
+  };
+
+  /// Earliest instance of slot `i` whose ready time is >= `after`. Times are
+  /// on the same timeline as `after` (callers pass node-local time).
+  [[nodiscard]] Instance instance_at_or_after(std::size_t i, TimePoint after) const;
+
+ private:
+  Config cfg_;
+  Duration t_wait_;
+  std::vector<SlotSpec> slots_;
+};
+
+}  // namespace rtec

@@ -1,0 +1,158 @@
+#include "sched/calendar_io.hpp"
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace rtec {
+
+std::string calendar_to_text(const Calendar& calendar) {
+  std::ostringstream out;
+  out << "calendar v1\n";
+  out << "round_ns  " << calendar.config().round_length.ns() << "\n";
+  out << "gap_ns    " << calendar.config().gap.ns() << "\n";
+  out << "bitrate   " << calendar.config().bus.bitrate_bps << "\n";
+  for (std::size_t i = 0; i < calendar.size(); ++i) {
+    const SlotSpec& s = calendar.slot(i);
+    out << "slot lst_ns=" << s.lst_offset.ns() << " dlc=" << s.dlc
+        << " k=" << s.fault.omission_degree << " etag=" << s.etag
+        << " node=" << static_cast<int>(s.publisher)
+        << " periodic=" << (s.periodic ? 1 : 0) << " m=" << s.period_rounds
+        << " phase=" << s.phase_round << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Parses "key=value" tokens of a slot line into a map.
+std::optional<std::map<std::string, long long>> parse_kv(std::istringstream& ls) {
+  std::map<std::string, long long> kv;
+  std::string token;
+  while (ls >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    try {
+      kv[token.substr(0, eq)] = std::stoll(token.substr(eq + 1));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return kv;
+}
+
+}  // namespace
+
+Expected<Calendar, CalendarIoError> calendar_from_text(const std::string& text) {
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+
+  auto fail = [&](std::string msg) {
+    return Unexpected{CalendarIoError{line_no, std::move(msg)}};
+  };
+
+  // Header.
+  bool have_header = false;
+  std::optional<std::int64_t> round_ns;
+  std::optional<std::int64_t> gap_ns;
+  std::optional<std::int64_t> bitrate;
+  std::optional<Calendar> calendar;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and skip blanks.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls{line};
+    std::string word;
+    if (!(ls >> word)) continue;
+
+    if (word == "calendar") {
+      std::string version;
+      if (!(ls >> version) || version != "v1")
+        return fail("unsupported calendar version");
+      have_header = true;
+      continue;
+    }
+    if (!have_header) return fail("missing 'calendar v1' header");
+
+    if (word == "round_ns" || word == "gap_ns" || word == "bitrate") {
+      long long v = 0;
+      if (!(ls >> v) || v <= 0) return fail("bad value for " + word);
+      if (word == "round_ns") round_ns = v;
+      if (word == "gap_ns") gap_ns = v;
+      if (word == "bitrate") bitrate = v;
+      continue;
+    }
+
+    if (word == "slot") {
+      if (!round_ns || !gap_ns || !bitrate)
+        return fail("slot before round_ns/gap_ns/bitrate");
+      if (!calendar) {
+        Calendar::Config cfg;
+        cfg.round_length = Duration::nanoseconds(*round_ns);
+        cfg.gap = Duration::nanoseconds(*gap_ns);
+        cfg.bus.bitrate_bps = *bitrate;
+        calendar.emplace(cfg);
+      }
+      const auto kv = parse_kv(ls);
+      if (!kv) return fail("malformed slot line");
+      for (const char* required :
+           {"lst_ns", "dlc", "k", "etag", "node"}) {
+        if (!kv->contains(required))
+          return fail(std::string{"slot missing "} + required);
+      }
+      SlotSpec s;
+      s.lst_offset = Duration::nanoseconds(kv->at("lst_ns"));
+      s.dlc = static_cast<int>(kv->at("dlc"));
+      s.fault.omission_degree = static_cast<int>(kv->at("k"));
+      const long long etag = kv->at("etag");
+      const long long node = kv->at("node");
+      if (etag < 0 || etag > kMaxEtag) return fail("etag out of range");
+      if (node < 0 || node > kMaxNodeId) return fail("node out of range");
+      s.etag = static_cast<Etag>(etag);
+      s.publisher = static_cast<NodeId>(node);
+      s.periodic = kv->contains("periodic") ? kv->at("periodic") != 0 : true;
+      s.period_rounds =
+          kv->contains("m") ? static_cast<int>(kv->at("m")) : 1;
+      s.phase_round =
+          kv->contains("phase") ? static_cast<int>(kv->at("phase")) : 0;
+
+      const auto reserved = calendar->reserve(s);
+      if (!reserved) {
+        const char* why = "";
+        switch (reserved.error()) {
+          case AdmissionError::kBadSpec: why = "bad slot spec"; break;
+          case AdmissionError::kWindowOutsideRound:
+            why = "window outside round";
+            break;
+          case AdmissionError::kOverlap: why = "window overlap"; break;
+        }
+        return fail(std::string{"admission rejected slot: "} + why);
+      }
+      continue;
+    }
+    return fail("unknown directive '" + word + "'");
+  }
+
+  if (!have_header) {
+    line_no = 0;
+    return fail("empty input");
+  }
+  if (!calendar) {
+    if (!round_ns || !gap_ns || !bitrate) {
+      line_no = 0;
+      return fail("incomplete header (round_ns/gap_ns/bitrate required)");
+    }
+    Calendar::Config cfg;
+    cfg.round_length = Duration::nanoseconds(*round_ns);
+    cfg.gap = Duration::nanoseconds(*gap_ns);
+    cfg.bus.bitrate_bps = *bitrate;
+    calendar.emplace(cfg);
+  }
+  return std::move(*calendar);
+}
+
+}  // namespace rtec

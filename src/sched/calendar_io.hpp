@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "sched/calendar.hpp"
+#include "util/expected.hpp"
+
+/// \file calendar_io.hpp
+/// Portable text format for reservation calendars — the "configuration
+/// image" distributed to every node during the configuration phase
+/// (§3.1: reservations are made offline). The planner CLI writes it; a
+/// deployment loads it into each node's Calendar at boot.
+///
+/// Format (one directive per line, `#` starts a comment):
+///
+///   calendar v1
+///   round_ns  10000000
+///   gap_ns    40000
+///   bitrate   1000000
+///   slot lst_ns=1000000 dlc=8 k=1 etag=10 node=1 periodic=1 m=1 phase=0
+///
+/// Parsing re-runs the admission test on every slot, so a tampered or
+/// stale image cannot produce an inconsistent calendar.
+
+namespace rtec {
+
+struct CalendarIoError {
+  int line = 0;          ///< 1-based line of the problem (0 = structural)
+  std::string message;
+};
+
+/// Serializes the calendar (config + all slots) to the text format.
+[[nodiscard]] std::string calendar_to_text(const Calendar& calendar);
+
+/// Parses a configuration image. Every slot goes through the admission
+/// test; the first failure aborts with its line number.
+[[nodiscard]] Expected<Calendar, CalendarIoError> calendar_from_text(
+    const std::string& text);
+
+}  // namespace rtec

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "canbus/can_types.hpp"
+
+/// \file id_codec.hpp
+/// Structure of the 29-bit CAN 2.0B identifier (paper §3.5):
+///
+///   bit 28..21  priority   (8 bits, 256 levels; lower value = higher prio)
+///   bit 20..14  TxNode     (7 bits; guarantees identifier uniqueness)
+///   bit 13..0   etag       (14 bits; the bound subject of the event channel)
+///
+/// Priority bands (paper §3.3, example partition):
+///   0        = HRT (exclusively reserved)
+///   1..250   = SRT (EDF deadline bands)
+///   251..255 = NRT (fixed application priorities)
+/// enforcing 0 <= P_HRT < P_SRT < P_NRT — so an NRT or SRT message can never
+/// win the bus against a pending HRT message.
+
+namespace rtec {
+
+using Etag = std::uint16_t;
+using Priority = std::uint8_t;
+
+inline constexpr Etag kMaxEtag = (1u << 14) - 1;
+
+/// Etags reserved for infrastructure services (identifier-space
+/// convention, enforced by the binding registry): clock-sync rounds and
+/// the runtime binding request/reply channel.
+inline constexpr Etag kSyncRefEtag = 0;
+inline constexpr Etag kSyncFollowEtag = 1;
+inline constexpr Etag kBindingRequestEtag = 2;
+inline constexpr Etag kBindingReplyEtag = 3;
+inline constexpr Etag kFirstApplicationEtag = 4;
+
+inline constexpr Priority kHrtPriority = 0;
+inline constexpr Priority kSrtPriorityMin = 1;    ///< highest-urgency SRT band
+inline constexpr Priority kSrtPriorityMax = 250;  ///< lowest-urgency SRT band
+inline constexpr Priority kNrtPriorityMin = 251;
+inline constexpr Priority kNrtPriorityMax = 255;
+
+enum class TrafficClass : std::uint8_t { kHrt, kSrt, kNrt };
+
+[[nodiscard]] constexpr TrafficClass classify_priority(Priority p) {
+  if (p == kHrtPriority) return TrafficClass::kHrt;
+  if (p <= kSrtPriorityMax) return TrafficClass::kSrt;
+  return TrafficClass::kNrt;
+}
+
+struct CanIdFields {
+  Priority priority = 0;
+  NodeId tx_node = 0;
+  Etag etag = 0;
+
+  friend bool operator==(const CanIdFields&, const CanIdFields&) = default;
+};
+
+[[nodiscard]] constexpr std::uint32_t encode_can_id(const CanIdFields& f) {
+  assert(f.tx_node <= kMaxNodeId);
+  assert(f.etag <= kMaxEtag);
+  return (static_cast<std::uint32_t>(f.priority) << 21) |
+         (static_cast<std::uint32_t>(f.tx_node) << 14) |
+         static_cast<std::uint32_t>(f.etag);
+}
+
+[[nodiscard]] constexpr CanIdFields decode_can_id(std::uint32_t id) {
+  CanIdFields f;
+  f.priority = static_cast<Priority>((id >> 21) & 0xff);
+  f.tx_node = static_cast<NodeId>((id >> 14) & 0x7f);
+  f.etag = static_cast<Etag>(id & 0x3fff);
+  return f;
+}
+
+/// Priority of a raw identifier (the top 8 bits).
+[[nodiscard]] constexpr Priority id_priority(std::uint32_t id) {
+  return static_cast<Priority>((id >> 21) & 0xff);
+}
+
+}  // namespace rtec

@@ -1,0 +1,106 @@
+#include "sched/planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rtec {
+
+std::string_view to_string(PlanError::Kind k) {
+  switch (k) {
+    case PlanError::Kind::kNoStreams: return "no_streams";
+    case PlanError::Kind::kNonHarmonicPeriods: return "non_harmonic_periods";
+    case PlanError::Kind::kOverSubscribed: return "over_subscribed";
+    case PlanError::Kind::kPlacementFailed: return "placement_failed";
+  }
+  return "unknown";
+}
+
+Expected<CalendarPlan, PlanError> plan_calendar(
+    const std::vector<HrtStreamRequest>& requests, Calendar::Config base_cfg,
+    int sync_master) {
+  if (requests.empty())
+    return Unexpected{PlanError{PlanError::Kind::kNoStreams, "empty request set"}};
+
+  // The round is the shortest period; all others must be harmonic.
+  Duration round = requests.front().period;
+  for (const auto& r : requests) round = std::min(round, r.period);
+  if (round <= Duration::zero())
+    return Unexpected{
+        PlanError{PlanError::Kind::kNonHarmonicPeriods, "non-positive period"}};
+  for (const auto& r : requests) {
+    if (r.period.ns() % round.ns() != 0)
+      return Unexpected{PlanError{
+          PlanError::Kind::kNonHarmonicPeriods,
+          "period " + std::to_string(r.period.ns()) +
+              " ns is not a multiple of the round " +
+              std::to_string(round.ns()) + " ns"}};
+  }
+
+  base_cfg.round_length = round;
+  Calendar calendar{base_cfg};
+  const Duration t_wait = calendar.t_wait();
+
+  // Collect the windows to place: optional sync slot first, then the
+  // requests, largest window first (canonical packing order; placement is
+  // sequential so order only affects which stream sits where).
+  struct Item {
+    int request = -1;  // -1: the sync slot
+    SlotSpec spec;
+    Duration window;
+  };
+  std::vector<Item> items;
+  if (sync_master >= 0) {
+    Item s;
+    s.spec.dlc = 8;
+    s.spec.fault.omission_degree = 1;
+    s.spec.etag = kSyncRefEtag;  // by convention; see Scenario
+    s.spec.publisher = static_cast<NodeId>(sync_master);
+    s.spec.periodic = true;
+    s.window = t_wait + hrt_wctt(8, {1}, base_cfg.bus);
+    items.push_back(s);
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const HrtStreamRequest& r = requests[i];
+    Item it;
+    it.request = static_cast<int>(i);
+    it.spec.dlc = r.dlc;
+    it.spec.fault = r.fault;
+    it.spec.etag = r.etag;
+    it.spec.publisher = r.publisher;
+    it.spec.periodic = r.periodic;
+    // Streams slower than the round become sub-rate slots: instances every
+    // m-th round, with full missing-message detection on exactly those.
+    it.spec.period_rounds = static_cast<int>(r.period.ns() / round.ns());
+    it.window = t_wait + hrt_wctt(r.dlc, r.fault, base_cfg.bus);
+    items.push_back(it);
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.window > b.window; });
+
+  const Duration total = std::accumulate(
+      items.begin(), items.end(), Duration::zero(),
+      [&](Duration acc, const Item& it) { return acc + it.window + base_cfg.gap; });
+  if (total > round)
+    return Unexpected{PlanError{
+        PlanError::Kind::kOverSubscribed,
+        "windows+gaps need " + std::to_string(total.us()) + " us, round is " +
+            std::to_string(round.us()) + " us"}};
+
+  // Sequential placement: window i starts right after window i-1 + gap.
+  CalendarPlan plan{std::move(calendar), std::vector<std::size_t>(requests.size()), 0};
+  Duration cursor = Duration::zero();
+  for (Item& it : items) {
+    it.spec.lst_offset = cursor + t_wait;
+    const auto reserved = plan.calendar.reserve(it.spec);
+    if (!reserved)
+      return Unexpected{PlanError{PlanError::Kind::kPlacementFailed,
+                                  "admission rejected a planned slot"}};
+    if (it.request >= 0)
+      plan.slot_of_request[static_cast<std::size_t>(it.request)] = *reserved;
+    cursor += it.window + base_cfg.gap;
+  }
+  plan.reserved_fraction = plan.calendar.reserved_fraction();
+  return plan;
+}
+
+}  // namespace rtec

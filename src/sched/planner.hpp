@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/calendar.hpp"
+#include "util/expected.hpp"
+
+/// \file planner.hpp
+/// Offline calendar synthesis — the tooling side of §3.1's "reservations
+/// are made off-line". Given the HRT streams a system needs (period,
+/// message size, fault assumption, publisher), the planner chooses a
+/// round length and places the slots so the admission test accepts them,
+/// or explains why no calendar exists.
+///
+/// Strategy: the round is the shortest requested period (every stream
+/// with a longer period gets one slot per round and simply leaves some
+/// instances unused — sporadic-style, reclaimed on the bus); slots are
+/// placed first-fit in decreasing window order after the optional
+/// infrastructure (sync) slot. This is deliberately simple and
+/// conservative; anything it accepts is guaranteed feasible because the
+/// Calendar's own admission test re-checks every placement.
+
+namespace rtec {
+
+struct HrtStreamRequest {
+  Etag etag = 0;
+  NodeId publisher = 0;
+  int dlc = 8;
+  FaultAssumption fault;
+  /// Desired publication period. Must be an integer multiple of the
+  /// shortest requested period (harmonic sets; non-harmonic periods would
+  /// need per-round schedules, which the paper's single-calendar model
+  /// does not cover).
+  Duration period;
+  bool periodic = true;
+};
+
+struct PlanError {
+  enum class Kind {
+    kNoStreams,
+    kNonHarmonicPeriods,
+    kOverSubscribed,   ///< windows + gaps exceed the round
+    kPlacementFailed,  ///< first-fit could not place a slot
+  };
+  Kind kind{};
+  std::string detail;
+};
+
+struct CalendarPlan {
+  Calendar calendar;
+  /// Index of each request's slot in the calendar (request order).
+  std::vector<std::size_t> slot_of_request;
+  double reserved_fraction = 0;
+};
+
+/// Synthesizes a calendar for the requests. When `sync_master` is
+/// non-negative the first slot is reserved for the clock-sync round
+/// (etag kSyncRefEtag) as Scenario::enable_clock_sync expects.
+[[nodiscard]] Expected<CalendarPlan, PlanError> plan_calendar(
+    const std::vector<HrtStreamRequest>& requests, Calendar::Config base_cfg,
+    int sync_master = -1);
+
+[[nodiscard]] std::string_view to_string(PlanError::Kind k);
+
+}  // namespace rtec

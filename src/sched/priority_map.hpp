@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sched/id_codec.hpp"
+#include "util/time_types.hpp"
+
+/// \file priority_map.hpp
+/// Deadline→priority mapping for soft real-time messages (paper §3.4).
+///
+/// CAN arbitration is fixed-priority per frame, while EDF needs the
+/// priority order to track deadlines as time advances. The paper's scheme
+/// discretizes laxity (deadline − now) into *priority slots* of length
+/// Δt_p: a message whose deadline lies within the next Δt_p gets the
+/// highest SRT band P_min, within (Δt_p, 2Δt_p] the next band, and so on.
+/// As time passes a queued message crosses slot boundaries and its priority
+/// must be *increased* (the dynamic promotion the middleware performs by
+/// rewriting the TX mailbox identifier).
+///
+/// The trade-off E6 measures:
+///  * small Δt_p  → few same-band collisions (good EDF fidelity) but a
+///    short time horizon ΔH = (P_max − P_min + 1)·Δt_p — deadlines beyond
+///    ΔH saturate at the lowest band and may be scheduled out of order;
+///  * large Δt_p → long horizon, but close deadlines collapse into one
+///    band where the order is decided arbitrarily by TxNode/etag bits.
+
+namespace rtec {
+
+class DeadlinePriorityMap {
+ public:
+  struct Config {
+    Priority p_min = kSrtPriorityMin;  ///< most urgent SRT band
+    Priority p_max = kSrtPriorityMax;  ///< least urgent SRT band
+    Duration slot_length = Duration::microseconds(160);  ///< Δt_p (≈ 1 frame)
+  };
+
+  explicit DeadlinePriorityMap(Config cfg) : cfg_{cfg} {
+    assert(cfg.p_min <= cfg.p_max);
+    assert(cfg.slot_length > Duration::zero());
+  }
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Time horizon ΔH: laxities at or beyond it all map to p_max.
+  [[nodiscard]] Duration horizon() const {
+    return cfg_.slot_length * (cfg_.p_max - cfg_.p_min + 1);
+  }
+
+  /// Band for a message with the given transmission deadline at time `now`:
+  /// laxity in (k·Δt_p, (k+1)·Δt_p] maps to p_min + k; laxity <= 0 maps to
+  /// p_min (overdue messages contend at the most urgent band).
+  [[nodiscard]] Priority priority_for(TimePoint now, TimePoint deadline) const {
+    const std::int64_t laxity = (deadline - now).ns();
+    if (laxity <= 0) return cfg_.p_min;
+    const std::int64_t k = (laxity - 1) / cfg_.slot_length.ns();  // ceil - 1
+    const std::int64_t cap = cfg_.p_max - cfg_.p_min;
+    return static_cast<Priority>(cfg_.p_min + (k < cap ? k : cap));
+  }
+
+  /// The instant at which a message queued with the band returned by
+  /// priority_for(now, deadline) must be promoted to the next band, i.e.
+  /// when its laxity drops to the next lower slot boundary. Returns
+  /// TimePoint::max() when already at p_min.
+  [[nodiscard]] TimePoint next_promotion(TimePoint now, TimePoint deadline) const {
+    const Priority p = priority_for(now, deadline);
+    if (p == cfg_.p_min) return TimePoint::max();
+    const std::int64_t k = p - cfg_.p_min;  // current slot index >= 1
+    return deadline - cfg_.slot_length * k;
+  }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace rtec

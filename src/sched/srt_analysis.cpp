@@ -1,0 +1,171 @@
+#include "sched/srt_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "canbus/frame.hpp"
+
+namespace rtec {
+
+namespace {
+
+Duration frame_cost(int dlc, const BusConfig& bus) {
+  return worst_case_frame_duration(dlc, /*extended=*/true, bus) +
+         bus.bit_time() * kIntermissionBits;
+}
+
+Duration hrt_windows_per_round(const Calendar& cal) {
+  Duration sum = Duration::zero();
+  for (std::size_t i = 0; i < cal.size(); ++i) {
+    const SlotTiming t = cal.timing(i);
+    sum += t.deadline_offset - t.ready_offset;
+  }
+  return sum;
+}
+
+/// Exact (grid-resolution) worst-case HRT bus time inside ANY interval of
+/// a given length: the reserved pattern is round-periodic, so
+///   cover(t) = floor(t/R)·W + max_s reserved([s, s + t mod R))
+/// with the sliding-window maximum computed from a 1 µs prefix sum.
+class HrtCoverage {
+ public:
+  explicit HrtCoverage(const Calendar& cal)
+      : round_ns_{cal.config().round_length.ns()},
+        per_round_{hrt_windows_per_round(cal)} {
+    const std::size_t cells =
+        static_cast<std::size_t>(round_ns_ / kGridNs) + 1;
+    std::vector<std::int64_t> reserved(cells, 0);  // ns reserved per cell
+    for (std::size_t i = 0; i < cal.size(); ++i) {
+      const SlotTiming t = cal.timing(i);
+      for (std::int64_t ns = t.ready_offset.ns(); ns < t.deadline_offset.ns();
+           ns += kGridNs) {
+        const auto cell = static_cast<std::size_t>((ns % round_ns_) / kGridNs);
+        reserved[cell % cells] += std::min<std::int64_t>(
+            kGridNs, t.deadline_offset.ns() - ns);
+      }
+    }
+    prefix_.resize(2 * cells + 1, 0);
+    for (std::size_t i = 0; i < 2 * cells; ++i)
+      prefix_[i + 1] = prefix_[i] + reserved[i % cells];
+  }
+
+  [[nodiscard]] Duration max_in(Duration t) const {
+    if (t <= Duration::zero()) return Duration::zero();
+    const std::int64_t full_rounds = t.ns() / round_ns_;
+    const std::int64_t rem_ns = t.ns() % round_ns_;
+    const auto rem_cells =
+        static_cast<std::size_t>((rem_ns + kGridNs - 1) / kGridNs);
+    std::int64_t best = 0;
+    const std::size_t cells = (prefix_.size() - 1) / 2;
+    for (std::size_t s = 0; s < cells; ++s)
+      best = std::max(best, prefix_[s + rem_cells] - prefix_[s]);
+    return per_round_ * full_rounds + Duration::nanoseconds(best);
+  }
+
+ private:
+  static constexpr std::int64_t kGridNs = 1000;  // 1 µs resolution
+  std::int64_t round_ns_;
+  Duration per_round_;
+  std::vector<std::int64_t> prefix_;
+};
+
+}  // namespace
+
+double srt_utilization(const SrtAnalysisInput& in) {
+  double u = 0;
+  for (const SrtStreamSpec& s : in.streams) {
+    u += frame_cost(s.dlc, in.bus).sec() / s.period.sec();
+  }
+  return u;
+}
+
+std::optional<SrtInfeasible> srt_edf_feasibility(const SrtAnalysisInput& in) {
+  if (in.streams.empty()) return std::nullopt;
+  for (const SrtStreamSpec& s : in.streams) {
+    if (s.period <= Duration::zero() || s.deadline <= Duration::zero() ||
+        s.deadline > s.period)
+      return SrtInfeasible{Duration::zero(), Duration::zero(), Duration::zero(),
+                           "stream " + std::to_string(s.id) +
+                               ": need 0 < deadline <= period"};
+  }
+
+  // Blocking: one non-preemptable lower-urgency frame (largest of any SRT
+  // stream or the largest NRT frame), plus one Δt_p of band-quantization
+  // slack (a deadline inside the same priority slot may be served first).
+  Duration blocking = Duration::zero();
+  for (const SrtStreamSpec& s : in.streams)
+    blocking = std::max(blocking, frame_cost(s.dlc, in.bus));
+  if (in.max_nrt_dlc > 0)
+    blocking = std::max(blocking, frame_cost(in.max_nrt_dlc, in.bus));
+  blocking += in.priority_slot;
+
+  const Duration hrt_per_round =
+      in.calendar != nullptr ? hrt_windows_per_round(*in.calendar)
+                             : Duration::zero();
+  const Duration round = in.calendar != nullptr
+                             ? in.calendar->config().round_length
+                             : Duration::milliseconds(1);
+  std::optional<HrtCoverage> coverage;
+  if (in.calendar != nullptr) coverage.emplace(*in.calendar);
+
+  // Effective utilization including HRT share must be < 1, otherwise the
+  // demand recursion has no bound.
+  const double hrt_share =
+      in.calendar != nullptr
+          ? static_cast<double>(hrt_per_round.ns()) /
+                static_cast<double>(round.ns())
+          : 0.0;
+  const double total_u = srt_utilization(in) + hrt_share;
+  if (total_u >= 1.0) {
+    return SrtInfeasible{Duration::zero(), Duration::zero(), Duration::zero(),
+                         "total utilization " + std::to_string(total_u) +
+                             " >= 1 (incl. HRT share " +
+                             std::to_string(hrt_share) + ")"};
+  }
+
+  // Test horizon: the busy period is bounded by
+  //   L = (B + Σ C_i + 2*W) / (1 - U_total)
+  // (standard DBF argument); check all absolute deadlines k*T_i + D_i <= L.
+  Duration c_sum = Duration::zero();
+  for (const SrtStreamSpec& s : in.streams)
+    c_sum += frame_cost(s.dlc, in.bus);
+  const double l_ns =
+      static_cast<double>((blocking + c_sum + hrt_per_round * 2).ns()) /
+      (1.0 - total_u);
+  const Duration horizon = Duration::nanoseconds(
+      std::min<std::int64_t>(static_cast<std::int64_t>(l_ns),
+                             Duration::seconds(10).ns()));
+
+  std::set<std::int64_t> checkpoints;
+  for (const SrtStreamSpec& s : in.streams) {
+    for (Duration t = s.deadline; t <= horizon; t += s.period) {
+      checkpoints.insert(t.ns());
+      if (checkpoints.size() > 200'000) break;  // practicality guard
+    }
+  }
+
+  for (const std::int64_t t_ns : checkpoints) {
+    const Duration t = Duration::nanoseconds(t_ns);
+    Duration demand = blocking;
+    for (const SrtStreamSpec& s : in.streams) {
+      if (t < s.deadline) continue;
+      const std::int64_t jobs =
+          (t - s.deadline).ns() / s.period.ns() + 1;
+      demand += frame_cost(s.dlc, in.bus) * jobs;
+    }
+    // HRT interference: exact worst-case reserved time any interval of
+    // length t can contain (periodic sliding-window maximum).
+    if (coverage) demand += coverage->max_in(t);
+
+    if (demand > t) {
+      return SrtInfeasible{
+          t, demand, t,
+          "demand " + std::to_string(demand.us()) + " us over supply " +
+              std::to_string(t.us()) + " us"};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtec

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/calendar.hpp"
+#include "sched/priority_map.hpp"
+#include "util/time_types.hpp"
+
+/// \file srt_analysis.hpp
+/// Offline schedulability test for the SRT class — the design-time
+/// companion of the EDF-over-priorities runtime (the paper's analysis
+/// reference is Livani/Kaiser/Jia, Control Engineering Practice 1999).
+///
+/// Model: sporadic SRT streams (minimum inter-arrival T, relative
+/// transmission deadline D ≤ T, worst frame time C) scheduled EDF, subject
+/// to
+///   * non-preemptive blocking by one maximal lower-urgency frame,
+///   * the Δt_p band quantization (two deadlines within one priority slot
+///     may be served out of order — absorbed as extra blocking),
+///   * interference from the reserved HRT calendar (each round can steal
+///     up to the calendar's summed window time).
+///
+/// Demand-bound test: for every absolute deadline t in the test set,
+///
+///   Σ_i (⌊(t − D_i)/T_i⌋ + 1)⁺ · C_i  +  B  +  Δt_p  +  hrt(t)  ≤  t
+///
+/// with hrt(t) = (⌈t/R⌉ + 1) · W_total (conservative: a partial round at
+/// each end). The test is sufficient, not necessary — anything it accepts
+/// is guaranteed; rejections may still work in practice.
+
+namespace rtec {
+
+/// One sporadic SRT stream for analysis.
+struct SrtStreamSpec {
+  int id = 0;
+  Duration period;    ///< minimum inter-arrival time
+  Duration deadline;  ///< relative transmission deadline (<= period)
+  int dlc = 8;
+};
+
+struct SrtInfeasible {
+  /// Absolute deadline at which demand first exceeds supply.
+  Duration at;
+  Duration demand;
+  Duration supply;
+  std::string detail;
+};
+
+struct SrtAnalysisInput {
+  std::vector<SrtStreamSpec> streams;
+  BusConfig bus{};
+  /// Δt_p of the deployment's priority map (quantization slack).
+  Duration priority_slot = Duration::microseconds(160);
+  /// The HRT calendar whose reserved windows steal bus time; nullptr =
+  /// no HRT traffic.
+  const Calendar* calendar = nullptr;
+  /// Largest NRT frame that can block (0 bytes disables the extra term —
+  /// an SRT frame of max size still blocks).
+  int max_nrt_dlc = 8;
+};
+
+/// Total SRT utilization (Σ C/T), HRT reserved share excluded.
+[[nodiscard]] double srt_utilization(const SrtAnalysisInput& in);
+
+/// Sufficient EDF feasibility test; nullopt = accepted (every stream meets
+/// its transmission deadline under the stated assumptions).
+[[nodiscard]] std::optional<SrtInfeasible> srt_edf_feasibility(
+    const SrtAnalysisInput& in);
+
+}  // namespace rtec

@@ -1,0 +1,26 @@
+#include "sched/wctt.hpp"
+
+#include <cassert>
+
+namespace rtec {
+
+Duration max_blocking_time(const BusConfig& bus) {
+  const int bits = worst_case_wire_bits(8, /*extended=*/true) + kIntermissionBits;
+  return bus.bit_time() * bits;
+}
+
+Duration hrt_wctt(int dlc, const FaultAssumption& fault, const BusConfig& bus) {
+  assert(dlc >= 0 && dlc <= 8);
+  assert(fault.omission_degree >= 0);
+  const int c_max = worst_case_wire_bits(dlc, /*extended=*/true);
+  const int failed_attempt = c_max + kErrorFrameBits + kIntermissionBits;
+  const int total_bits = fault.omission_degree * failed_attempt + c_max;
+  return bus.bit_time() * total_bits;
+}
+
+Duration hrt_slot_window(int dlc, const FaultAssumption& fault,
+                         const BusConfig& bus) {
+  return max_blocking_time(bus) + hrt_wctt(dlc, fault, bus);
+}
+
+}  // namespace rtec

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "canbus/can_types.hpp"
+#include "canbus/frame.hpp"
+#include "util/time_types.hpp"
+
+/// \file wctt.hpp
+/// Worst-case transmission time (WCTT) analysis for hard real-time messages
+/// under the paper's fault assumption, following Livani & Kaiser (WPDRTS'99).
+///
+/// An HRT message is released into the controller at the *latest ready time*
+/// LST − ΔT_wait with the exclusive priority 0. From that point:
+///  * at most one non-preemptable lower-priority frame can block it, for at
+///    most ΔT_wait (the longest possible frame + intermission);
+///  * each of up to k corrupted attempts (omission degree k) occupies the
+///    bus for at most a worst-case frame plus an error frame plus the
+///    intermission before the retry — nothing else can interpose because
+///    priority 0 wins every re-arbitration;
+///  * the final, successful attempt takes one worst-case frame.
+/// The transmission deadline (= guaranteed delivery point, where the
+/// middleware releases the event to subscribers) is LST + hrt_wctt().
+
+namespace rtec {
+
+/// The paper's fault assumption for one HRT channel: at most
+/// `omission_degree` consecutive corrupted transmissions of one message.
+struct FaultAssumption {
+  int omission_degree = 0;
+};
+
+/// Longest time a just-started lower-priority frame can occupy the bus:
+/// a worst-case 8-byte extended data frame plus the intermission. This is
+/// ΔT_wait from Fig. 3 (the paper quotes ≈154 µs at 1 Mbit/s with slightly
+/// less conservative stuffing accounting; the exact worst case of this
+/// simulator's frame model is used instead).
+[[nodiscard]] Duration max_blocking_time(const BusConfig& bus);
+
+/// Worst-case bus time from LST until the message's end-of-frame delivery,
+/// assuming it is already in the controller and no blocking (blocking is
+/// accounted separately via ΔT_wait):
+/// k * (C_max + error frame + intermission) + C_max.
+[[nodiscard]] Duration hrt_wctt(int dlc, const FaultAssumption& fault,
+                                const BusConfig& bus);
+
+/// Total reserved window length for one HRT slot:
+/// ΔT_wait (pre-LST blocking absorption) + hrt_wctt (from LST to delivery).
+[[nodiscard]] Duration hrt_slot_window(int dlc, const FaultAssumption& fault,
+                                       const BusConfig& bus);
+
+}  // namespace rtec

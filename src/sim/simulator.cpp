@@ -1,0 +1,66 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rtec {
+
+Simulator::TimerHandle Simulator::schedule_at(TimePoint t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  assert(cb && "null callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return TimerHandle{id};
+}
+
+Simulator::TimerHandle Simulator::schedule_after(Duration d, Callback cb) {
+  assert(d >= Duration::zero());
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+void Simulator::cancel(TimerHandle& h) {
+  if (!h.valid()) return;
+  callbacks_.erase(h.id_);  // heap entry removed lazily in step()
+  h.id_ = 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    assert(e.at >= now_);
+    now_ = e.at;
+    // Move the callback out before erasing: the callback may (re)schedule
+    // and thereby rehash callbacks_.
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimePoint t) {
+  assert(t >= now_);
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    const Entry e = queue_.top();
+    if (callbacks_.find(e.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (e.at > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace rtec

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+/// \file simulator.hpp
+/// Deterministic single-threaded discrete-event simulation kernel. All bus,
+/// clock and middleware activity is expressed as timers on this kernel.
+///
+/// Determinism rules:
+///  * time is integer nanoseconds (no float accumulation),
+///  * events at equal timestamps run in scheduling order (FIFO tie-break via
+///    a monotonically increasing sequence number),
+///  * the kernel is single-threaded — there is no hidden concurrency, so a
+///    given scenario + seed always produces bit-identical traces.
+
+namespace rtec {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancelling a scheduled event. Default-constructed
+  /// handles are inert.
+  class TimerHandle {
+   public:
+    TimerHandle() = default;
+    [[nodiscard]] bool valid() const { return id_ != 0; }
+
+   private:
+    friend class Simulator;
+    explicit TimerHandle(std::uint64_t id) : id_{id} {}
+    std::uint64_t id_ = 0;
+  };
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (>= now, asserted).
+  TimerHandle schedule_at(TimePoint t, Callback cb);
+
+  /// Schedules `cb` to run `d` from now (d >= 0, asserted).
+  TimerHandle schedule_after(Duration d, Callback cb);
+
+  /// Cancels a scheduled event. Idempotent; harmless on fired/invalid
+  /// handles. The handle is invalidated.
+  void cancel(TimerHandle& h);
+
+  /// Executes the next pending event (advancing `now`). Returns false when
+  /// the queue is empty.
+  bool step();
+
+  /// Runs every event with timestamp <= `t`, then sets now = t.
+  void run_until(TimePoint t);
+
+  /// Runs until the event queue drains. Scenario code with periodic
+  /// re-arming timers must use run_until instead.
+  void run();
+
+  /// Number of scheduled (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // std::priority_queue is a max-heap; invert so the earliest (time, seq)
+    // is on top.
+    bool operator<(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace rtec

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "time/clock.hpp"
+
+/// \file periodic.hpp
+/// Drift-free periodic task on a node's local clock.
+///
+/// Periodic application activities (sensor sampling, publishing into a
+/// periodic HRT channel) must stay phase-locked to the synchronized global
+/// time. Naively re-arming with `schedule_at_local(clock.now() + period)`
+/// accumulates the clock's reading granularity every cycle (up to one tick
+/// per period — a full slot's worth of phase slide over long runs).
+/// PeriodicLocalTask instead advances an absolute local timeline
+/// t0, t0+P, t0+2P, ... so quantization never accumulates.
+
+namespace rtec {
+
+class PeriodicLocalTask {
+ public:
+  PeriodicLocalTask(LocalClock& clock, Duration period,
+                    std::function<void()> body)
+      : clock_{clock}, period_{period}, body_{std::move(body)} {}
+
+  PeriodicLocalTask(const PeriodicLocalTask&) = delete;
+  PeriodicLocalTask& operator=(const PeriodicLocalTask&) = delete;
+  ~PeriodicLocalTask() { stop(); }
+
+  /// First execution immediately (at the current local time).
+  void start() { start_at(clock_.now()); }
+
+  /// First execution when the local clock reads `local_first`.
+  void start_at(TimePoint local_first) {
+    if (running_) return;
+    running_ = true;
+    next_ = local_first;
+    arm();
+  }
+
+  void stop() {
+    running_ = false;
+    // Handle cancellation requires the simulator; LocalClock exposes it
+    // via the timers it creates.
+    clock_.cancel(timer_);
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t executions() const { return executions_; }
+
+ private:
+  void arm() {
+    timer_ = clock_.schedule_at_local(next_, [this] {
+      if (!running_) return;
+      ++executions_;
+      next_ += period_;
+      arm();        // re-arm first: body may stop() or destroy state
+      body_();
+    });
+  }
+
+  LocalClock& clock_;
+  Duration period_;
+  std::function<void()> body_;
+  TimePoint next_;
+  Simulator::TimerHandle timer_;
+  bool running_ = false;
+  std::uint64_t executions_ = 0;
+};
+
+}  // namespace rtec

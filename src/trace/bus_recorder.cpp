@@ -1,0 +1,54 @@
+#include "trace/bus_recorder.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sched/id_codec.hpp"
+
+namespace rtec {
+
+BusRecorder::BusRecorder(CanBus& bus) {
+  bus.add_observer(
+      [this](const CanBus::FrameEvent& ev) { events_.push_back(ev); });
+}
+
+std::vector<CanBus::FrameEvent> BusRecorder::filtered(std::uint32_t match,
+                                                      std::uint32_t mask) const {
+  std::vector<CanBus::FrameEvent> out;
+  for (const auto& ev : events_)
+    if ((ev.frame.id & mask) == (match & mask)) out.push_back(ev);
+  return out;
+}
+
+std::size_t BusRecorder::first_divergence(const BusRecorder& a,
+                                          const BusRecorder& b) {
+  const std::size_t n = std::min(a.events_.size(), b.events_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& x = a.events_[i];
+    const auto& y = b.events_[i];
+    if (x.frame.id != y.frame.id || x.start != y.start ||
+        x.success != y.success)
+      return i;
+  }
+  return n;
+}
+
+bool BusRecorder::save_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  out << "start_ns,end_ns,id_hex,prio,node,etag,dlc,success,attempt,bits\n";
+  char line[160];
+  for (const auto& ev : events_) {
+    const CanIdFields f = decode_can_id(ev.frame.id);
+    std::snprintf(line, sizeof line,
+                  "%lld,%lld,%08X,%u,%u,%u,%u,%d,%d,%d\n",
+                  static_cast<long long>(ev.start.ns()),
+                  static_cast<long long>(ev.end.ns()), ev.frame.id, f.priority,
+                  f.tx_node, f.etag, ev.frame.dlc, ev.success ? 1 : 0,
+                  ev.attempt, ev.wire_bits);
+    out << line;
+  }
+  return out.good();
+}
+
+}  // namespace rtec

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "canbus/bus.hpp"
+
+/// \file bus_recorder.hpp
+/// Raw frame-event recorder: keeps every bus occupancy (including
+/// corrupted attempts and attempt numbers, which the candump format
+/// cannot represent) and dumps them as CSV for offline analysis. The
+/// de-facto debugging tool when a timing assertion fails: diff two
+/// recordings of "identical" runs to find the first divergence.
+
+namespace rtec {
+
+class BusRecorder {
+ public:
+  explicit BusRecorder(CanBus& bus);
+
+  [[nodiscard]] const std::vector<CanBus::FrameEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Events whose identifier matches (id & mask) == (match & mask).
+  [[nodiscard]] std::vector<CanBus::FrameEvent> filtered(
+      std::uint32_t match, std::uint32_t mask) const;
+
+  /// First index at which two recordings diverge (id, start, success), or
+  /// the shorter length when one is a prefix of the other; equal-length
+  /// identical traces return their common size.
+  [[nodiscard]] static std::size_t first_divergence(const BusRecorder& a,
+                                                    const BusRecorder& b);
+
+  /// CSV: start_ns,end_ns,id_hex,prio,node,etag,dlc,success,attempt,bits
+  bool save_csv(const std::string& path) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<CanBus::FrameEvent> events_;
+};
+
+}  // namespace rtec

@@ -1,0 +1,149 @@
+#include "trace/candump.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rtec {
+
+CandumpRecorder::CandumpRecorder(CanBus& bus, std::string interface_name)
+    : iface_{std::move(interface_name)} {
+  bus.add_observer([this](const CanBus::FrameEvent& ev) {
+    if (!ev.success) return;  // error frames never reach candump
+    lines_.push_back(format(ev.frame, ev.end, iface_));
+  });
+}
+
+std::string CandumpRecorder::format(const CanFrame& frame, TimePoint at,
+                                    const std::string& interface_name) {
+  char buf[96];
+  const std::int64_t secs = at.ns() / 1'000'000'000;
+  const std::int64_t micros = at.ns() % 1'000'000'000 / 1000;
+  int off;
+  if (frame.extended) {
+    off = std::snprintf(buf, sizeof buf, "(%lld.%06lld) %s %08X#",
+                        static_cast<long long>(secs),
+                        static_cast<long long>(micros),
+                        interface_name.c_str(), frame.id);
+  } else {
+    off = std::snprintf(buf, sizeof buf, "(%lld.%06lld) %s %03X#",
+                        static_cast<long long>(secs),
+                        static_cast<long long>(micros),
+                        interface_name.c_str(), frame.id);
+  }
+  if (frame.rtr) {
+    off += std::snprintf(buf + off, sizeof buf - static_cast<std::size_t>(off),
+                         "R");
+  } else {
+    for (int i = 0; i < frame.dlc; ++i)
+      off += std::snprintf(buf + off,
+                           sizeof buf - static_cast<std::size_t>(off), "%02X",
+                           frame.data[static_cast<std::size_t>(i)]);
+  }
+  return std::string{buf, static_cast<std::size_t>(off)};
+}
+
+bool CandumpRecorder::save(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  for (const std::string& line : lines_) out << line << '\n';
+  return out.good();
+}
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool parse_hex(const std::string& s, std::uint32_t& out) {
+  if (s.empty() || s.size() > 8) return false;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    const int d = hex_value(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<std::uint32_t>(d);
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::vector<CandumpEntry> parse_candump(const std::string& text) {
+  std::vector<CandumpEntry> out;
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) {
+    // "(secs.micros) iface ID#DATA"
+    std::istringstream ls{line};
+    std::string ts;
+    std::string iface;
+    std::string frame_str;
+    if (!(ls >> ts >> iface >> frame_str)) continue;
+    if (ts.size() < 3 || ts.front() != '(' || ts.back() != ')') continue;
+
+    long long secs = 0;
+    long long micros = 0;
+    if (std::sscanf(ts.c_str(), "(%lld.%lld)", &secs, &micros) != 2) continue;
+
+    const std::size_t hash = frame_str.find('#');
+    if (hash == std::string::npos) continue;
+    const std::string id_str = frame_str.substr(0, hash);
+    const std::string data_str = frame_str.substr(hash + 1);
+
+    CandumpEntry entry;
+    entry.at = TimePoint::from_ns(secs * 1'000'000'000 + micros * 1000);
+    if (!parse_hex(id_str, entry.frame.id)) continue;
+    entry.frame.extended = id_str.size() > 3;
+    if (entry.frame.extended && entry.frame.id > kMaxExtendedId) continue;
+    if (!entry.frame.extended && entry.frame.id > kMaxBaseId) continue;
+
+    if (!data_str.empty() && (data_str[0] == 'R' || data_str[0] == 'r')) {
+      entry.frame.rtr = true;
+      entry.frame.dlc = 0;
+    } else {
+      if (data_str.size() % 2 != 0 || data_str.size() > 16) continue;
+      entry.frame.dlc = static_cast<std::uint8_t>(data_str.size() / 2);
+      bool ok = true;
+      for (int i = 0; i < entry.frame.dlc; ++i) {
+        const int hi = hex_value(data_str[static_cast<std::size_t>(2 * i)]);
+        const int lo = hex_value(data_str[static_cast<std::size_t>(2 * i + 1)]);
+        if (hi < 0 || lo < 0) {
+          ok = false;
+          break;
+        }
+        entry.frame.data[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((hi << 4) | lo);
+      }
+      if (!ok) continue;
+    }
+    out.push_back(entry);
+  }
+  return out;
+}
+
+std::size_t replay_candump(Simulator& sim, CanController& controller,
+                           const std::vector<CandumpEntry>& entries,
+                           TimePoint start) {
+  if (entries.empty()) return 0;
+  const TimePoint base = entries.front().at;
+  std::size_t scheduled = 0;
+  for (const CandumpEntry& entry : entries) {
+    const TimePoint at = start + (entry.at - base);
+    if (at < sim.now()) continue;
+    const CanFrame frame = entry.frame;
+    CanController* ctl = &controller;
+    sim.schedule_at(at, [ctl, frame] {
+      (void)ctl->submit(frame, TxMode::kAutoRetransmit);
+    });
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+}  // namespace rtec

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "canbus/bus.hpp"
+#include "canbus/controller.hpp"
+#include "util/expected.hpp"
+
+/// \file candump.hpp
+/// Interop with Linux SocketCAN tooling: record simulated bus traffic in
+/// `candump -l` log format, and replay candump logs (e.g. captured from a
+/// real vcan/can interface) into the simulator.
+///
+/// Log line format (what candump writes and canplayer reads):
+///
+///   (1436509053.249713) vcan0 1F334455#DEADBEEF
+///
+/// i.e. `(seconds.microseconds) <iface> <ID-hex>#<data-hex>`; 8 hex-digit
+/// identifiers are extended (29-bit), 3-digit ones base (11-bit); an `R`
+/// after `#` marks a remote frame. Corrupted simulated transmissions are
+/// not logged (candump on real hardware never sees them either).
+
+namespace rtec {
+
+/// Observer that appends every successful frame to a candump-format log.
+class CandumpRecorder {
+ public:
+  /// Attaches to the bus; frames are buffered and written by save().
+  CandumpRecorder(CanBus& bus, std::string interface_name = "rtec0");
+
+  /// Lines recorded so far (one per successful frame).
+  [[nodiscard]] const std::vector<std::string>& lines() const { return lines_; }
+
+  /// Writes the log to `path`. Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Formats one frame the way candump would.
+  [[nodiscard]] static std::string format(const CanFrame& frame, TimePoint at,
+                                          const std::string& interface_name);
+
+ private:
+  std::string iface_;
+  std::vector<std::string> lines_;
+};
+
+/// One parsed candump log entry.
+struct CandumpEntry {
+  /// Timestamp exactly as recorded in the log (wall-clock epoch for real
+  /// captures, simulation time for our own recordings); the replayer only
+  /// uses differences, rebased onto its own start time.
+  TimePoint at;
+  CanFrame frame;
+};
+
+/// Parses a candump log. Malformed lines are skipped; returns the entries
+/// in file order.
+[[nodiscard]] std::vector<CandumpEntry> parse_candump(const std::string& text);
+
+/// Replays parsed entries into the simulation through `controller`:
+/// each frame is submitted at `start + (entry.at - first_entry.at)`.
+/// Returns the number of frames scheduled.
+std::size_t replay_candump(Simulator& sim, CanController& controller,
+                           const std::vector<CandumpEntry>& entries,
+                           TimePoint start);
+
+}  // namespace rtec

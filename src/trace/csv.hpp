@@ -1,0 +1,48 @@
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+/// \file csv.hpp
+/// Tiny CSV writer so every bench can dump its table for offline plotting
+/// alongside the stdout rendering.
+
+namespace rtec {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Writing to an unopened file is
+  /// silently dropped so benches can make CSV output optional.
+  explicit CsvWriter(const std::string& path) : out_{path} {}
+  CsvWriter() = default;
+
+  [[nodiscard]] bool ok() const { return out_.is_open() && out_.good(); }
+
+  void header(std::initializer_list<std::string_view> cols) { write_row(cols); }
+
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    if (!out_.is_open()) return;
+    bool first = true;
+    ((out_ << (first ? (first = false, "") : ",") << values), ...);
+    out_ << '\n';
+  }
+
+ private:
+  void write_row(std::initializer_list<std::string_view> cols) {
+    if (!out_.is_open()) return;
+    bool first = true;
+    for (auto c : cols) {
+      if (!first) out_ << ',';
+      out_ << c;
+      first = false;
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace rtec

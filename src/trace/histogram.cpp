@@ -1,0 +1,60 @@
+#include "trace/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace rtec {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_{lo}, width_{(hi - lo) / static_cast<double>(buckets)},
+      counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::render(double unit_scale, const char* unit,
+                              std::size_t max_bar) const {
+  std::size_t peak = std::max<std::size_t>(1, underflow_);
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  peak = std::max(peak, overflow_);
+
+  std::string out;
+  char line[160];
+  const auto row = [&](const char* label, std::size_t n) {
+    const std::size_t bar = n * max_bar / peak;
+    std::snprintf(line, sizeof line, "  %-22s %8zu |%s\n", label, n,
+                  std::string(bar, '#').c_str());
+    out += line;
+  };
+  if (underflow_ > 0) row("< range", underflow_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    char label[48];
+    std::snprintf(label, sizeof label, "[%.1f..%.1f)%s",
+                  bucket_lo(i) / unit_scale,
+                  (bucket_lo(i) + width_) / unit_scale, unit);
+    row(label, counts_[i]);
+  }
+  if (overflow_ > 0) row(">= range", overflow_);
+  return out;
+}
+
+}  // namespace rtec

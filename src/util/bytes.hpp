@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+/// \file bytes.hpp
+/// Little-endian scalar (de)serialization for CAN payloads. Explicit
+/// byte-order helpers rather than memcpy: the simulated network is
+/// "hardware" and its wire format must not depend on host endianness.
+
+namespace rtec {
+
+inline void store_le16(std::span<std::uint8_t> out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v & 0xff);
+  out[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+}
+
+inline void store_le32(std::span<std::uint8_t> out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+inline void store_le64(std::span<std::uint8_t> out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+[[nodiscard]] inline std::uint16_t load_le16(std::span<const std::uint8_t> in) {
+  return static_cast<std::uint16_t>(in[0] | (static_cast<std::uint16_t>(in[1]) << 8));
+}
+
+[[nodiscard]] inline std::uint32_t load_le32(std::span<const std::uint8_t> in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[static_cast<std::size_t>(i)];
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t load_le64(std::span<const std::uint8_t> in) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[static_cast<std::size_t>(i)];
+  return v;
+}
+
+inline void store_le_i64(std::span<std::uint8_t> out, std::int64_t v) {
+  store_le64(out, static_cast<std::uint64_t>(v));
+}
+
+[[nodiscard]] inline std::int64_t load_le_i64(std::span<const std::uint8_t> in) {
+  return static_cast<std::int64_t>(load_le64(in));
+}
+
+}  // namespace rtec

@@ -1,0 +1,11 @@
+#include "util/crc15.hpp"
+
+namespace rtec {
+
+std::uint16_t crc15(std::span<const bool> bits) {
+  std::uint16_t crc = 0;
+  for (bool b : bits) crc = crc15_step(crc, b);
+  return crc;
+}
+
+}  // namespace rtec

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+/// \file crc15.hpp
+/// The CAN CRC-15 (polynomial x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1,
+/// i.e. 0x4599) as specified in Bosch CAN 2.0 §3.1.1. The simulator computes
+/// the real CRC over the frame's stuffable bit region so that the stuffed
+/// frame length — and therefore every transmission duration — is exact for
+/// the concrete payload, not just a worst-case formula.
+
+namespace rtec {
+
+inline constexpr std::uint16_t kCrc15Poly = 0x4599;
+
+/// Feeds one bit into a running CRC-15 register (Bosch 2.0 §3.1.1 algorithm).
+[[nodiscard]] constexpr std::uint16_t crc15_step(std::uint16_t crc, bool bit) {
+  const bool crc_next = bit != (((crc >> 14) & 1U) != 0);
+  crc = static_cast<std::uint16_t>((crc << 1) & 0x7fff);
+  if (crc_next) crc = static_cast<std::uint16_t>(crc ^ kCrc15Poly);
+  return crc;
+}
+
+/// CRC-15 of a bit sequence given as booleans (MSB-first frame order).
+[[nodiscard]] std::uint16_t crc15(std::span<const bool> bits);
+
+}  // namespace rtec

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+/// \file expected.hpp
+/// Minimal std::expected stand-in (we target C++20; std::expected is C++23).
+/// Used for all fallible middleware operations so that error handling is
+/// explicit and allocation-free.
+
+namespace rtec {
+
+/// Tag wrapper to construct an Expected holding an error.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+/// Either a value of type T or an error of type E.
+template <typename T, typename E>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : v_{std::in_place_index<0>, std::move(value)} {}  // NOLINT(google-explicit-constructor)
+  Expected(Unexpected<E> u) : v_{std::in_place_index<1>, std::move(u.error)} {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const { return v_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(v_));
+  }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] const E& error() const {
+    assert(!has_value());
+    return std::get<1>(v_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+/// Specialization for operations that produce no value, only success/error.
+template <typename E>
+class [[nodiscard]] Expected<void, E> {
+ public:
+  Expected() = default;
+  Expected(Unexpected<E> u) : error_{std::move(u.error)}, ok_{false} {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  [[nodiscard]] const E& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool ok_ = true;
+};
+
+}  // namespace rtec

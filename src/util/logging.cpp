@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rtec {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn ";
+    case LogLevel::kInfo: return "info ";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kOff: break;
+  }
+  return "?    ";
+}
+}  // namespace
+
+void Logger::init_from_env() {
+  const char* env = std::getenv("RTEC_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "error") == 0) set_level(LogLevel::kError);
+  else if (std::strcmp(env, "warn") == 0) set_level(LogLevel::kWarn);
+  else if (std::strcmp(env, "info") == 0) set_level(LogLevel::kInfo);
+  else if (std::strcmp(env, "debug") == 0) set_level(LogLevel::kDebug);
+  else set_level(LogLevel::kOff);
+}
+
+void Logger::log(LogLevel level, TimePoint now, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%12.3fms] [%s] %.*s: %.*s\n", now.ms(), level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace rtec

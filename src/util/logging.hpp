@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+#include "util/time_types.hpp"
+
+/// \file logging.hpp
+/// Minimal leveled logger for the simulator. Off by default (benches and
+/// tests run silent); examples turn on Info to narrate the scenario.
+/// Deliberately not thread-aware: the simulation kernel is single-threaded
+/// by design (deterministic discrete-event execution).
+
+namespace rtec {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  /// Writes one line: "[  12.345ms] [info ] <component>: <message>".
+  void log(LogLevel level, TimePoint now, std::string_view component,
+           std::string_view message);
+
+  /// printf-style convenience; formatting is skipped when the level is off.
+  template <typename... Args>
+  void logf(LogLevel level, TimePoint now, std::string_view component,
+            const char* fmt, Args... args) {
+    if (!enabled(level)) return;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    log(level, now, component, buf);
+  }
+
+  /// Sets the level from the RTEC_LOG environment variable
+  /// (off|error|warn|info|debug); examples call this at startup.
+  void init_from_env();
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+};
+
+}  // namespace rtec

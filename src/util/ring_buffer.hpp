@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+
+/// \file ring_buffer.hpp
+/// Bounded FIFO ring buffer. Backs the subscriber-side event queues that the
+/// paper's API passes to subscribe() ("the middleware stores the event in
+/// some predefined memory area") and the NRT fragment pipelines.
+
+namespace rtec {
+
+template <typename T, std::size_t N>
+class RingBuffer {
+  static_assert(N > 0);
+
+ public:
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == N; }
+
+  /// Enqueues `v`; returns false (and drops `v`) when full.
+  [[nodiscard]] bool push(const T& v) {
+    if (full()) return false;
+    buf_[(head_ + size_) % N] = v;
+    ++size_;
+    return true;
+  }
+
+  /// Enqueues `v`, evicting the oldest element when full. Returns true when
+  /// an eviction happened. Used by overwrite-on-overflow event queues where
+  /// a subscriber prefers the freshest sensor reading over a backlog.
+  bool push_overwrite(const T& v) {
+    const bool evicted = full();
+    if (evicted) (void)pop();
+    const bool ok = push(v);
+    assert(ok);
+    (void)ok;
+    return evicted;
+  }
+
+  /// Dequeues the oldest element; empty optional when there is none.
+  [[nodiscard]] std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) % N;
+    --size_;
+    return v;
+  }
+
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::array<T, N> buf_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rtec

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file static_vector.hpp
+/// Fixed-capacity vector with in-place storage — the workhorse container of
+/// the middleware. On the 8/16-bit targets the paper's prototype ran on,
+/// heap allocation on the event path is unacceptable; every queue in this
+/// library is bounded and declared up front, so capacity overflow is a
+/// configuration error surfaced by the admission layer, not a runtime
+/// allocation.
+
+namespace rtec {
+
+template <typename T, std::size_t N>
+class StaticVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  StaticVector() = default;
+
+  StaticVector(std::initializer_list<T> init) {
+    assert(init.size() <= N);
+    for (const T& v : init) push_back(v);
+  }
+
+  StaticVector(const StaticVector& other) {
+    for (const T& v : other) push_back(v);
+  }
+  StaticVector(StaticVector&& other) noexcept {
+    for (T& v : other) push_back(std::move(v));
+    other.clear();
+  }
+  StaticVector& operator=(const StaticVector& other) {
+    if (this != &other) {
+      clear();
+      for (const T& v : other) push_back(v);
+    }
+    return *this;
+  }
+  StaticVector& operator=(StaticVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      for (T& v : other) push_back(std::move(v));
+      other.clear();
+    }
+    return *this;
+  }
+  ~StaticVector() { clear(); }
+
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == N; }
+
+  /// Appends a copy; asserts on overflow (bounded queues are sized by the
+  /// admission layer — overflow is a configuration bug).
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    assert(size_ < N && "StaticVector overflow");
+    T* p = ::new (slot(size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  /// Non-asserting append for paths where overflow is an expected runtime
+  /// condition (e.g. an RX queue under overload). Returns false when full.
+  [[nodiscard]] bool try_push_back(const T& v) {
+    if (full()) return false;
+    push_back(v);
+    return true;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    std::destroy_at(ptr(size_));
+  }
+
+  /// Removes the element at `i`, preserving the order of the remainder.
+  void erase_at(std::size_t i) {
+    assert(i < size_);
+    for (std::size_t j = i + 1; j < size_; ++j) *ptr(j - 1) = std::move(*ptr(j));
+    pop_back();
+  }
+
+  void clear() {
+    while (size_ > 0) pop_back();
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return *ptr(i);
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return *ptr(i);
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] iterator begin() { return ptr(0); }
+  [[nodiscard]] iterator end() { return ptr(size_); }
+  [[nodiscard]] const_iterator begin() const { return ptr(0); }
+  [[nodiscard]] const_iterator end() const { return ptr(size_); }
+
+ private:
+  [[nodiscard]] void* slot(std::size_t i) { return &storage_[i]; }
+  [[nodiscard]] T* ptr(std::size_t i) {
+    return std::launder(reinterpret_cast<T*>(&storage_[i]));
+  }
+  [[nodiscard]] const T* ptr(std::size_t i) const {
+    return std::launder(reinterpret_cast<const T*>(&storage_[i]));
+  }
+
+  alignas(T) std::array<std::byte[sizeof(T)], N> storage_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rtec

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+/// \file stats.hpp
+/// Measurement primitives used by the trace layer and benches: streaming
+/// moments (Welford) and an exact-quantile sample collector. Latency and
+/// jitter figures in EXPERIMENTS.md come from these.
+
+namespace rtec {
+
+/// Streaming mean / variance / extrema without storing samples.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  /// Peak-to-peak spread — the paper's notion of (latency) jitter bound.
+  [[nodiscard]] double span() const { return n_ > 0 ? max_ - min_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; provides exact quantiles. Fine for bench-scale runs
+/// (millions of samples at 8 bytes each).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void add(Duration d) { add(static_cast<double>(d.ns())); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Exact q-quantile by nearest-rank (q in [0,1]); 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Raw samples (order unspecified once a quantile has been taken).
+  [[nodiscard]] const std::vector<double>& values() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace rtec

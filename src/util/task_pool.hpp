@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+/// \file task_pool.hpp
+/// Stable storage for self-rescheduling callables.
+///
+/// Scenario scripts often need a callable that re-arms itself from inside
+/// a timer or TX-completion callback:
+///
+///   TaskPool tasks;
+///   auto* loop = tasks.make();
+///   *loop = [&, loop] {
+///     do_work();
+///     sim.schedule_after(10_ms, [loop] { (*loop)(); });
+///   };
+///   (*loop)();
+///
+/// The pool owns every callable; the lambdas only capture the raw pointer,
+/// so there is no shared_ptr ownership cycle (the classic
+/// `make_shared<function<void()>>` self-capture idiom leaks by design —
+/// LeakSanitizer rightly complains). Keep the pool alive for as long as
+/// the simulation may invoke the tasks — typically as a local beside the
+/// Scenario, or as a test-fixture member.
+
+namespace rtec {
+
+class TaskPool {
+ public:
+  /// Allocates an empty callable with a stable address.
+  std::function<void()>* make() {
+    pool_.push_back(std::make_unique<std::function<void()>>());
+    return pool_.back().get();
+  }
+
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<std::function<void()>>> pool_;
+};
+
+}  // namespace rtec

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+/// \file time_types.hpp
+/// Strong integer time types used throughout the simulator and middleware.
+///
+/// All simulated time is kept as signed 64-bit nanoseconds. A signed
+/// representation lets intermediate arithmetic (deadline - now, clock offset
+/// corrections) go negative without wrapping. At nanosecond resolution the
+/// range covers ~292 years of simulated time, far beyond any run.
+
+namespace rtec {
+
+/// A span of time (difference of two TimePoints), integer nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1000}; }
+  static constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr std::int64_t operator/(Duration o) const { return ns_ / o.ns_; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr Duration operator%(Duration o) const { return Duration{ns_ % o.ns_}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  explicit constexpr Duration(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute point on a timeline (simulated "perfect" time, or a node's
+/// local clock reading), integer nanoseconds since the timeline origin.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint from_ns(std::int64_t v) { return TimePoint{v}; }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ns()}; }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::nanoseconds(ns_ - o.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+  constexpr TimePoint& operator-=(Duration d) { ns_ -= d.ns(); return *this; }
+
+ private:
+  explicit constexpr TimePoint(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace rtec

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "core/gateway.hpp"
+#include "core/hrtec.hpp"
+#include "core/nrtec.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+
+/// Compile-time conformance with the paper's API declarations (Figs 1–2).
+/// Every method the figures list must exist with the documented shape; the
+/// static_asserts make accidental API breaks a compile error in this test,
+/// and the runtime bodies double as executable documentation.
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ms;
+
+// ---- Fig. 1: class hrtec ---------------------------------------------------
+// int announce(subject, attribute_list, exception_handler);
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Hrtec::announce), Hrtec&,
+                                    Subject, const AttributeList&,
+                                    ExceptionHandler>);
+// int publish(event);
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Hrtec::publish), Hrtec&, Event>);
+// int subscribe(subject, attribute_list, event_queue, not_handler,
+//               exception_handler);  [event_queue -> attr::QueueCapacity]
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Hrtec::subscribe), Hrtec&,
+                                    Subject, const AttributeList&,
+                                    NotificationHandler, ExceptionHandler>);
+// int cancelSubscription(void);
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Hrtec::cancelSubscription),
+                                    Hrtec&>);
+
+// ---- Fig. 2: class srtec ---------------------------------------------------
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Srtec::announce), Srtec&,
+                                    Subject, const AttributeList&,
+                                    ExceptionHandler>);
+// Fig. 2 additionally lists cancelPublication().
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Srtec::cancelPublication),
+                                    Srtec&>);
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Srtec::publish), Srtec&, Event>);
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Srtec::subscribe), Srtec&,
+                                    Subject, const AttributeList&,
+                                    NotificationHandler, ExceptionHandler>);
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Srtec::cancelSubscription),
+                                    Srtec&>);
+
+// ---- NRTEC (§2.2.3: same interface shape, fixed priority + fragmentation)
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Nrtec::announce), Nrtec&,
+                                    Subject, const AttributeList&,
+                                    ExceptionHandler>);
+static_assert(std::is_invocable_r_v<Expected<void, ChannelError>,
+                                    decltype(&Nrtec::publish), Nrtec&, Event>);
+
+// ---- getEvent(): the notification-handler retrieval primitive (§2.2.1)
+static_assert(std::is_invocable_r_v<std::optional<Event>,
+                                    decltype(&Hrtec::getEvent), Hrtec&>);
+static_assert(std::is_invocable_r_v<std::optional<Event>,
+                                    decltype(&Srtec::getEvent), Srtec&>);
+static_assert(std::is_invocable_r_v<std::optional<Event>,
+                                    decltype(&Nrtec::getEvent), Nrtec&>);
+
+// Channel objects are resources, not values.
+static_assert(!std::is_copy_constructible_v<Hrtec>);
+static_assert(!std::is_copy_constructible_v<Srtec>);
+static_assert(!std::is_copy_constructible_v<Nrtec>);
+static_assert(!std::is_copy_constructible_v<Scenario>);
+static_assert(!std::is_copy_constructible_v<Gateway>);
+
+// Events are plain values.
+static_assert(std::is_copy_constructible_v<Event>);
+static_assert(std::is_move_constructible_v<Event>);
+
+TEST(ApiConformance, ErrorReturnsAreInspectable) {
+  // The paper's `int` returns are modernized to Expected<void, ChannelError>;
+  // every failure is a named, printable code.
+  Scenario scn;
+  Node& n = scn.add_node(1);
+  Hrtec h{n.middleware()};
+  const auto r = h.publish(Event{});
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), ChannelError::kNotAnnounced);
+  EXPECT_EQ(to_string(r.error()), "not_announced");
+}
+
+TEST(ApiConformance, EveryChannelErrorHasAName) {
+  for (int e = 0; e <= static_cast<int>(ChannelError::kQueueOverflow); ++e) {
+    EXPECT_NE(to_string(static_cast<ChannelError>(e)), "unknown")
+        << "code " << e;
+  }
+}
+
+TEST(ApiConformance, AttributeListTypedLookup) {
+  AttributeList attrs{attr::Periodic{10_ms}, attr::MessageSize{4},
+                      attr::Reliability{2}};
+  ASSERT_TRUE(attrs.has<attr::Periodic>());
+  EXPECT_EQ(attrs.get<attr::Periodic>()->period.ns(), (10_ms).ns());
+  EXPECT_EQ(attrs.get<attr::MessageSize>()->dlc, 4);
+  EXPECT_FALSE(attrs.has<attr::Fragmentation>());
+  // First-of-type wins on duplicates.
+  attrs.add(attr::MessageSize{2});
+  EXPECT_EQ(attrs.get<attr::MessageSize>()->dlc, 4);
+  EXPECT_EQ(attrs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace rtec

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hrtec.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+
+/// The whole stack parameterized over the bus bit rate: every timing
+/// quantity (ΔT_wait, WCTT, slot windows, frame durations) derives from
+/// the configured bit time, so the guarantees must hold identically at
+/// the classic CAN rates 125/250/500/1000 kbit/s.
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+class BitrateSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BitrateSweep, HrtPipelineHoldsAtEveryRate) {
+  const std::int64_t bps = GetParam();
+  Scenario::Config cfg;
+  cfg.bus.bitrate_bps = bps;
+  // Slower buses need longer rounds: scale with the bit time.
+  const std::int64_t scale = 1'000'000 / bps;
+  cfg.calendar.round_length = 10_ms * scale;
+  Scenario scn{cfg};
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+  Node& pub_node = scn.add_node(1, perfect);
+  Node& sub_node = scn.add_node(2, perfect);
+
+  const Subject subject = subject_of("rate/hrt");
+  SlotSpec slot;
+  slot.lst_offset = 2_ms * scale;
+  slot.dlc = 8;
+  slot.fault.omission_degree = 1;
+  slot.etag = *scn.binding().bind(subject);
+  slot.publisher = pub_node.id();
+  const auto idx = scn.calendar().reserve(slot);
+  ASSERT_TRUE(idx.has_value());
+
+  // ΔT_wait and the slot window scale inversely with the bit rate.
+  EXPECT_EQ(scn.calendar().t_wait().ns(), 160'000 * scale);
+  const SlotTiming t = scn.calendar().timing(*idx);
+  EXPECT_EQ((t.deadline_offset - t.lst_offset).ns(),
+            hrt_wctt(8, {1}, cfg.bus).ns());
+
+  Hrtec pub{pub_node.middleware()};
+  Hrtec sub{sub_node.middleware()};
+  ASSERT_TRUE(pub.announce(subject, {}, nullptr).has_value());
+  std::vector<TimePoint> deliveries;
+  ASSERT_TRUE(sub.subscribe(subject, AttributeList{attr::QueueCapacity{8}},
+                            [&] {
+                              (void)sub.getEvent();
+                              deliveries.push_back(sub_node.clock().now());
+                            },
+                            nullptr)
+                  .has_value());
+
+  // guaranteed_latency reflects the rate-scaled window.
+  const auto latency = pub.guaranteed_latency();
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(latency->ns(), (t.deadline_offset - t.ready_offset).ns());
+
+  // Two rounds of publications, delivered exactly at the deadlines.
+  for (int r = 0; r < 2; ++r) {
+    scn.sim().schedule_at(TimePoint::origin() + cfg.calendar.round_length * r,
+                          [&pub] {
+                            Event e;
+                            e.content = {1, 2, 3, 4, 5, 6, 7, 8};
+                            (void)pub.publish(std::move(e));
+                          });
+  }
+  scn.run_for(cfg.calendar.round_length * 2 + 1_ms);
+  ASSERT_EQ(deliveries.size(), 2u);
+  const auto first =
+      scn.calendar().instance_at_or_after(*idx, TimePoint::origin());
+  EXPECT_EQ(deliveries[0].ns(), first.deadline.ns());
+  EXPECT_EQ(deliveries[1].ns(),
+            (first.deadline + cfg.calendar.round_length).ns());
+}
+
+TEST_P(BitrateSweep, SrtDeliveryScalesWithFrameTime) {
+  const std::int64_t bps = GetParam();
+  Scenario::Config cfg;
+  cfg.bus.bitrate_bps = bps;
+  Scenario scn{cfg};
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+  Node& a = scn.add_node(1, perfect);
+  Node& b = scn.add_node(2, perfect);
+  Srtec pub{a.middleware()};
+  Srtec sub{b.middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("rate/srt"),
+                           AttributeList{attr::Deadline{100_ms}}, nullptr)
+                  .has_value());
+  TimePoint delivered_at;
+  ASSERT_TRUE(sub.subscribe(subject_of("rate/srt"), {},
+                            [&] {
+                              (void)sub.getEvent();
+                              delivered_at = scn.sim().now();
+                            },
+                            nullptr)
+                  .has_value());
+  Event e;
+  e.content.assign(8, 0xAA);
+  CanFrame probe;
+  probe.id = encode_can_id({250, 1, 4});
+  probe.dlc = 8;
+  probe.data.fill(0xAA);
+  const Duration expected = frame_duration(probe, cfg.bus);
+  ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+  scn.run_for(Duration::seconds(1));
+  // Idle bus: delivery happens exactly one frame duration after publish
+  // (the initial band happens to match the probe's only in length terms —
+  // stuffing depends only on payload + id bit pattern; allow the id
+  // difference a couple of stuff bits of slack).
+  EXPECT_NEAR(static_cast<double>((delivered_at - TimePoint::origin()).ns()),
+              static_cast<double>(expected.ns()),
+              static_cast<double>(4 * cfg.bus.bit_time().ns()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassicRates, BitrateSweep,
+                         ::testing::Values(125'000, 250'000, 500'000,
+                                           1'000'000));
+
+}  // namespace
+}  // namespace rtec

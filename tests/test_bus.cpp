@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "canbus/bus.hpp"
+#include "canbus/controller.hpp"
+#include "canbus/fault.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_us;
+using literals::operator""_ms;
+
+CanFrame make_frame(std::uint32_t id, std::uint8_t dlc = 0) {
+  CanFrame f;
+  f.id = id;
+  f.extended = true;
+  f.dlc = dlc;
+  return f;
+}
+
+struct BusFixture : ::testing::Test {
+  Simulator sim;
+  CanBus bus{sim, BusConfig{1'000'000}};
+  CanController a{sim, 1};
+  CanController b{sim, 2};
+  CanController c{sim, 3};
+  std::vector<CanBus::FrameEvent> events;
+
+  void SetUp() override {
+    bus.attach(a);
+    bus.attach(b);
+    bus.attach(c);
+    bus.add_observer([this](const CanBus::FrameEvent& ev) { events.push_back(ev); });
+  }
+};
+
+// ----------------------------------------------------------------- basic TX
+
+TEST_F(BusFixture, SingleFrameDeliveredToAllOthers) {
+  int rx_b = 0;
+  int rx_c = 0;
+  b.add_rx_listener([&](const CanFrame& f, TimePoint) {
+    EXPECT_EQ(f.id, 0x100u);
+    ++rx_b;
+  });
+  c.add_rx_listener([&](const CanFrame&, TimePoint) { ++rx_c; });
+
+  bool tx_ok = false;
+  ASSERT_TRUE(a.submit(make_frame(0x100, 4), TxMode::kAutoRetransmit,
+                       [&](auto, const CanFrame&, bool ok, TimePoint) {
+                         tx_ok = ok;
+                       })
+                  .has_value());
+  sim.run();
+  EXPECT_TRUE(tx_ok);
+  EXPECT_EQ(rx_b, 1);
+  EXPECT_EQ(rx_c, 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].success);
+  // Sender must not hear its own frame.
+  EXPECT_EQ(events[0].sender, 1);
+}
+
+TEST_F(BusFixture, TransmissionTakesExactWireBits) {
+  const CanFrame f = make_frame(0x123, 8);
+  (void)a.submit(f, TxMode::kAutoRetransmit);
+  sim.run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ((events[0].end - events[0].start).ns(),
+            frame_wire_bits(f) * 1000);
+}
+
+// -------------------------------------------------------------- arbitration
+
+TEST_F(BusFixture, LowestIdWinsSimultaneousArbitration) {
+  (void)b.submit(make_frame(0x200), TxMode::kAutoRetransmit);
+  (void)a.submit(make_frame(0x100), TxMode::kAutoRetransmit);
+  (void)c.submit(make_frame(0x300), TxMode::kAutoRetransmit);
+  sim.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].frame.id, 0x100u);
+  EXPECT_EQ(events[1].frame.id, 0x200u);
+  EXPECT_EQ(events[2].frame.id, 0x300u);
+}
+
+TEST_F(BusFixture, OngoingTransmissionIsNotPreempted) {
+  (void)a.submit(make_frame(0x500, 8), TxMode::kAutoRetransmit);
+  // Higher-priority frame arrives mid-transmission: must wait.
+  sim.schedule_after(20_us, [&] {
+    (void)b.submit(make_frame(0x001), TxMode::kAutoRetransmit);
+  });
+  sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].frame.id, 0x500u);
+  EXPECT_EQ(events[1].frame.id, 0x001u);
+  // The second starts only after frame + 3-bit intermission.
+  EXPECT_GE((events[1].start - events[0].end).ns(), 3000);
+}
+
+TEST_F(BusFixture, IntermissionSeparatesFrames) {
+  (void)a.submit(make_frame(0x100), TxMode::kAutoRetransmit);
+  (void)b.submit(make_frame(0x200), TxMode::kAutoRetransmit);
+  sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ((events[1].start - events[0].end).ns(), 3000);  // 3 bit times
+}
+
+TEST_F(BusFixture, RequestDuringIntermissionJoinsNextArbitration) {
+  (void)a.submit(make_frame(0x100), TxMode::kAutoRetransmit);
+  (void)b.submit(make_frame(0x300), TxMode::kAutoRetransmit);
+  sim.run_until(TimePoint::origin() + 1_us);
+  // Frame 0x100 is on the wire. Submit 0x200 now: at the next arbitration
+  // it must beat 0x300.
+  (void)c.submit(make_frame(0x200), TxMode::kAutoRetransmit);
+  sim.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].frame.id, 0x200u);
+  EXPECT_EQ(events[2].frame.id, 0x300u);
+}
+
+TEST_F(BusFixture, MultipleMailboxesOfferLowestId) {
+  (void)a.submit(make_frame(0x400), TxMode::kAutoRetransmit);
+  (void)a.submit(make_frame(0x150), TxMode::kAutoRetransmit);
+  (void)b.submit(make_frame(0x200), TxMode::kAutoRetransmit);
+  sim.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].frame.id, 0x150u);
+  EXPECT_EQ(events[1].frame.id, 0x200u);
+  EXPECT_EQ(events[2].frame.id, 0x400u);
+}
+
+// ----------------------------------------------------------- mailbox control
+
+TEST_F(BusFixture, AbortPendingMailboxSucceeds) {
+  (void)a.submit(make_frame(0x100, 8), TxMode::kAutoRetransmit);
+  const auto mb = b.submit(make_frame(0x200), TxMode::kAutoRetransmit);
+  ASSERT_TRUE(mb.has_value());
+  // While 0x100 is on the wire, 0x200 is only pending: abort must work.
+  sim.run_until(TimePoint::origin() + 10_us);
+  EXPECT_TRUE(b.abort(*mb));
+  sim.run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].frame.id, 0x100u);
+}
+
+TEST_F(BusFixture, AbortTransmittingMailboxFails) {
+  const auto mb = a.submit(make_frame(0x100, 8), TxMode::kAutoRetransmit);
+  ASSERT_TRUE(mb.has_value());
+  sim.run_until(TimePoint::origin() + 10_us);  // mid-frame
+  EXPECT_FALSE(a.abort(*mb));
+  sim.run();
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST_F(BusFixture, RewriteIdChangesArbitrationOutcome) {
+  (void)a.submit(make_frame(0x100, 8), TxMode::kAutoRetransmit);
+  const auto mb = b.submit(make_frame(0x500), TxMode::kAutoRetransmit);
+  (void)c.submit(make_frame(0x300), TxMode::kAutoRetransmit);
+  ASSERT_TRUE(mb.has_value());
+  sim.run_until(TimePoint::origin() + 10_us);
+  // Promote b's frame below c's: b should now beat c at the next point.
+  EXPECT_TRUE(b.rewrite_id(*mb, 0x200));
+  sim.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].frame.id, 0x200u);
+  EXPECT_EQ(events[2].frame.id, 0x300u);
+}
+
+TEST_F(BusFixture, NoFreeMailboxReported) {
+  for (std::size_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(a.submit(make_frame(0x100 + static_cast<std::uint32_t>(i)),
+                         TxMode::kAutoRetransmit)
+                    .has_value());
+  const auto r = a.submit(make_frame(0x600), TxMode::kAutoRetransmit);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), TxError::kNoFreeMailbox);
+}
+
+// ------------------------------------------------------------------- faults
+
+TEST_F(BusFixture, CorruptedFrameConsistentlyDropped) {
+  ScriptedFaults faults;
+  faults.add_rule([](const FaultContext& ctx) { return ctx.attempt == 1; });
+  bus.set_fault_model(&faults);
+
+  int rx = 0;
+  b.add_rx_listener([&](const CanFrame&, TimePoint) { ++rx; });
+  (void)a.submit(make_frame(0x100, 2), TxMode::kAutoRetransmit);
+  sim.run();
+  // Attempt 1 corrupted (no delivery), attempt 2 clean.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].success);
+  EXPECT_TRUE(events[1].success);
+  EXPECT_EQ(rx, 1);
+}
+
+TEST_F(BusFixture, SingleShotReportsFailureWithoutRetry) {
+  ScriptedFaults faults;
+  faults.add_rule([](const FaultContext&) { return true; });
+  bus.set_fault_model(&faults);
+
+  bool reported = false;
+  bool reported_ok = true;
+  (void)a.submit(make_frame(0x100), TxMode::kSingleShot,
+                 [&](auto, const CanFrame&, bool ok, TimePoint) {
+                   reported = true;
+                   reported_ok = ok;
+                 });
+  sim.run();
+  EXPECT_TRUE(reported);
+  EXPECT_FALSE(reported_ok);
+  EXPECT_EQ(events.size(), 1u);  // exactly one attempt
+}
+
+TEST_F(BusFixture, ErrorFrameOccupiesBusTime) {
+  ScriptedFaults faults;
+  faults.add_rule([](const FaultContext& ctx) { return ctx.attempt == 1; });
+  bus.set_fault_model(&faults);
+  (void)a.submit(make_frame(0x100, 8), TxMode::kAutoRetransmit);
+  sim.run();
+  ASSERT_EQ(events.size(), 2u);
+  // The corrupted attempt still burned bus time (error position + error
+  // frame), and the retry started after an intermission.
+  EXPECT_GT((events[0].end - events[0].start).ns(), 0);
+  EXPECT_GE((events[1].start - events[0].end).ns(), 3000);
+  EXPECT_GT(bus.error_time().ns(), 0);
+  EXPECT_EQ(bus.frames_error(), 1u);
+  EXPECT_EQ(bus.frames_ok(), 1u);
+}
+
+TEST_F(BusFixture, BurstFaultsWindow) {
+  BurstFaults faults{TimePoint::origin(), TimePoint::origin() + 500_us};
+  bus.set_fault_model(&faults);
+  (void)a.submit(make_frame(0x100), TxMode::kAutoRetransmit);
+  sim.run();
+  // Retries during the burst all fail; first attempt after 500 us passes.
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_TRUE(events.back().success);
+  EXPECT_GE(events.back().start.ns(), 500'000);
+  for (std::size_t i = 0; i + 1 < events.size(); ++i)
+    EXPECT_FALSE(events[i].success);
+}
+
+// ----------------------------------------------------------- error counters
+
+TEST_F(BusFixture, TecRisesAndRecovers) {
+  ScriptedFaults faults;
+  faults.add_rule([](const FaultContext& ctx) { return ctx.attempt <= 3; });
+  bus.set_fault_model(&faults);
+  (void)a.submit(make_frame(0x100), TxMode::kAutoRetransmit);
+  sim.run();
+  // 3 failures (+8 each) then one success (-1).
+  EXPECT_EQ(a.tec(), 23);
+  EXPECT_FALSE(a.bus_off());
+}
+
+TEST_F(BusFixture, BusOffAfterPersistentErrors) {
+  ScriptedFaults faults;
+  faults.add_rule([](const FaultContext&) { return true; });
+  bus.set_fault_model(&faults);
+  bool final_report = true;
+  (void)a.submit(make_frame(0x100), TxMode::kAutoRetransmit,
+                 [&](auto, const CanFrame&, bool ok, TimePoint) {
+                   final_report = ok;
+                 });
+  sim.run();
+  EXPECT_TRUE(a.bus_off());
+  EXPECT_FALSE(final_report);  // owner told the submission died
+  // 256/8 = 32 failed attempts.
+  EXPECT_EQ(events.size(), 32u);
+  // Further submissions rejected until reset.
+  EXPECT_FALSE(a.submit(make_frame(0x100), TxMode::kAutoRetransmit).has_value());
+  a.reset_errors();
+  EXPECT_TRUE(a.submit(make_frame(0x100), TxMode::kAutoRetransmit).has_value());
+}
+
+// -------------------------------------------------------------------- filters
+
+TEST_F(BusFixture, AcceptanceFiltersSelectFrames) {
+  int rx = 0;
+  b.add_acceptance_filter({0x100, 0x7fff0000});  // match high bits of 0x100?
+  b.clear_acceptance_filters();
+  b.add_acceptance_filter({0x100, 0x1fffffff});  // exact match
+  b.add_rx_listener([&](const CanFrame&, TimePoint) { ++rx; });
+  (void)a.submit(make_frame(0x100), TxMode::kAutoRetransmit);
+  (void)a.submit(make_frame(0x200), TxMode::kAutoRetransmit);
+  sim.run();
+  EXPECT_EQ(rx, 1);
+}
+
+TEST_F(BusFixture, MaskedFilterMatchesGroup) {
+  int rx = 0;
+  // Accept any id whose top byte (bits 28..21) equals 0x01.
+  b.add_acceptance_filter({0x1u << 21, 0xffu << 21});
+  b.add_rx_listener([&](const CanFrame&, TimePoint) { ++rx; });
+  (void)a.submit(make_frame((0x1u << 21) | 5), TxMode::kAutoRetransmit);
+  (void)a.submit(make_frame((0x2u << 21) | 5), TxMode::kAutoRetransmit);
+  (void)a.submit(make_frame((0x1u << 21) | 9), TxMode::kAutoRetransmit);
+  sim.run();
+  EXPECT_EQ(rx, 2);
+}
+
+// ---------------------------------------------------------------- node crash
+
+TEST_F(BusFixture, OfflineNodeNeitherSendsNorReceives) {
+  int rx = 0;
+  b.add_rx_listener([&](const CanFrame&, TimePoint) { ++rx; });
+  b.set_online(false);
+  (void)a.submit(make_frame(0x100), TxMode::kAutoRetransmit);
+  EXPECT_FALSE(b.submit(make_frame(0x200), TxMode::kAutoRetransmit).has_value());
+  sim.run();
+  EXPECT_EQ(rx, 0);
+  b.set_online(true);
+  (void)a.submit(make_frame(0x101), TxMode::kAutoRetransmit);
+  sim.run();
+  EXPECT_EQ(rx, 1);
+}
+
+// ----------------------------------------------------------------- accounting
+
+TEST_F(BusFixture, UtilizationAccounting) {
+  (void)a.submit(make_frame(0x100, 8), TxMode::kAutoRetransmit);
+  sim.run();
+  const Duration busy = bus.busy_time();
+  EXPECT_GT(busy.ns(), 0);
+  sim.run_until(TimePoint::origin() + 1_ms);
+  EXPECT_NEAR(bus.utilization(),
+              static_cast<double>(busy.ns()) / 1e6, 1e-9);
+}
+
+}  // namespace
+}  // namespace rtec

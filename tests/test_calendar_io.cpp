@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "sched/calendar_io.hpp"
+#include "util/random.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_us;
+using literals::operator""_ms;
+
+Calendar make_calendar() {
+  Calendar::Config cfg;
+  cfg.round_length = 10_ms;
+  cfg.gap = 40_us;
+  Calendar cal{cfg};
+  SlotSpec a;
+  a.lst_offset = 1_ms;
+  a.dlc = 8;
+  a.fault.omission_degree = 1;
+  a.etag = 10;
+  a.publisher = 1;
+  EXPECT_TRUE(cal.reserve(a).has_value());
+  SlotSpec b;
+  b.lst_offset = 3_ms;
+  b.dlc = 2;
+  b.etag = 11;
+  b.publisher = 2;
+  b.periodic = false;
+  EXPECT_TRUE(cal.reserve(b).has_value());
+  SlotSpec c;
+  c.lst_offset = 5_ms;
+  c.dlc = 4;
+  c.etag = 12;
+  c.publisher = 3;
+  c.period_rounds = 2;
+  c.phase_round = 1;
+  EXPECT_TRUE(cal.reserve(c).has_value());
+  return cal;
+}
+
+TEST(CalendarIo, RoundTripPreservesEverything) {
+  const Calendar original = make_calendar();
+  const std::string text = calendar_to_text(original);
+  const auto parsed = calendar_from_text(text);
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->config().round_length.ns(),
+            original.config().round_length.ns());
+  EXPECT_EQ(parsed->config().gap.ns(), original.config().gap.ns());
+  EXPECT_EQ(parsed->config().bus.bitrate_bps,
+            original.config().bus.bitrate_bps);
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const SlotSpec& o = original.slot(i);
+    const SlotSpec& p = parsed->slot(i);
+    EXPECT_EQ(p.lst_offset.ns(), o.lst_offset.ns());
+    EXPECT_EQ(p.dlc, o.dlc);
+    EXPECT_EQ(p.fault.omission_degree, o.fault.omission_degree);
+    EXPECT_EQ(p.etag, o.etag);
+    EXPECT_EQ(p.publisher, o.publisher);
+    EXPECT_EQ(p.periodic, o.periodic);
+    EXPECT_EQ(p.period_rounds, o.period_rounds);
+    EXPECT_EQ(p.phase_round, o.phase_round);
+    EXPECT_EQ(parsed->timing(i).deadline_offset.ns(),
+              original.timing(i).deadline_offset.ns());
+  }
+}
+
+TEST(CalendarIo, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# a configuration image\n"
+      "calendar v1\n"
+      "\n"
+      "round_ns  10000000   # ten milliseconds\n"
+      "gap_ns    40000\n"
+      "bitrate   1000000\n"
+      "slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1\n";
+  const auto parsed = calendar_from_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->slot(0).period_rounds, 1);  // defaults applied
+  EXPECT_TRUE(parsed->slot(0).periodic);
+}
+
+TEST(CalendarIo, RejectsTamperedImages) {
+  const struct {
+    const char* text;
+    const char* why;
+  } cases[] = {
+      {"round_ns 1\n", "missing header"},
+      {"calendar v2\n", "bad version"},
+      {"calendar v1\nround_ns 0\n", "non-positive round"},
+      {"calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n"
+       "slot dlc=8 k=0 etag=10 node=1\n",
+       "missing lst_ns"},
+      {"calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n"
+       "slot lst_ns=1000000 dlc=9 k=0 etag=10 node=1\n",
+       "dlc out of range -> admission"},
+      {"calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n"
+       "slot lst_ns=1000000 dlc=8 k=0 etag=99999 node=1\n",
+       "etag out of range"},
+      {"calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n"
+       "slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1\n"
+       "slot lst_ns=1000000 dlc=8 k=0 etag=11 node=2\n",
+       "overlapping slots"},
+      {"calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n"
+       "bogus directive\n",
+       "unknown directive"},
+      {"calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n"
+       "slot lst_ns=xyz dlc=8 k=0 etag=10 node=1\n",
+       "unparsable value"},
+  };
+  for (const auto& c : cases) {
+    const auto parsed = calendar_from_text(c.text);
+    EXPECT_FALSE(parsed.has_value()) << c.why;
+    if (!parsed.has_value()) {
+      EXPECT_FALSE(parsed.error().message.empty());
+    }
+  }
+}
+
+TEST(CalendarIo, ErrorsCarryLineNumbers) {
+  const std::string text =
+      "calendar v1\n"
+      "round_ns 10000000\n"
+      "gap_ns 40000\n"
+      "bitrate 1000000\n"
+      "slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1\n"
+      "slot lst_ns=1000000 dlc=8 k=0 etag=11 node=2\n";  // overlaps line 5
+  const auto parsed = calendar_from_text(text);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.error().line, 6);
+}
+
+TEST(CalendarIo, FuzzRandomTextNeverCrashes) {
+  Rng rng{777};
+  const char alphabet[] =
+      "calendar v1\nround_ns gap_ns bitrate slot lst= dlc= k= etag= node= "
+      "0123456789 #=\n";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    for (std::size_t i = 0; i < len; ++i)
+      text += alphabet[static_cast<std::size_t>(
+          rng.uniform_int(0, sizeof alphabet - 2))];
+    (void)calendar_from_text(text);  // must not crash or throw
+  }
+}
+
+TEST(CalendarIo, EmptyHeaderOnlyImageIsAValidEmptyCalendar) {
+  const auto parsed = calendar_from_text(
+      "calendar v1\nround_ns 5000000\ngap_ns 40000\nbitrate 500000\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 0u);
+  EXPECT_EQ(parsed->config().bus.bitrate_bps, 500'000);
+}
+
+
+TEST(CalendarIo, ScenarioLoadsAndRejectsImages) {
+  const Calendar cal = make_calendar();
+  const std::string image = calendar_to_text(cal);
+
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  cfg.calendar.gap = 40_us;
+  Scenario scn{cfg};
+  ASSERT_TRUE(scn.load_calendar_image(image).has_value());
+  EXPECT_EQ(scn.calendar().size(), cal.size());
+  // Loading the same image twice conflicts (slots already reserved).
+  const auto again = scn.load_calendar_image(image);
+  ASSERT_FALSE(again.has_value());
+
+  // A scenario configured with a different round must reject the image.
+  Scenario::Config other_cfg;
+  other_cfg.calendar.round_length = 20_ms;
+  Scenario other{other_cfg};
+  const auto mismatch = other.load_calendar_image(image);
+  ASSERT_FALSE(mismatch.has_value());
+  EXPECT_NE(mismatch.error().find("disagree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtec

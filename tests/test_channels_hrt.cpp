@@ -1,0 +1,618 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/hrtec.hpp"
+#include "core/scenario.hpp"
+#include "sched/id_codec.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+Scenario::Config default_cfg() {
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  cfg.calendar.gap = 40_us;
+  return cfg;
+}
+
+Node::ClockParams perfect_clock() {
+  Node::ClockParams p;
+  p.granularity = 1_ns;
+  return p;
+}
+
+Event make_event(std::initializer_list<std::uint8_t> bytes) {
+  Event e;
+  e.content.assign(bytes);
+  return e;
+}
+
+struct HrtFixture : ::testing::Test {
+  Scenario scn{default_cfg()};
+  Node* pub_node = nullptr;
+  Node* sub_node = nullptr;
+
+  void SetUp() override {
+    pub_node = &scn.add_node(1, perfect_clock());
+    sub_node = &scn.add_node(2, perfect_clock());
+  }
+
+  // Reserves a slot for `subject` published by node 1 and returns its
+  // calendar index.
+  std::size_t reserve(Duration lst, bool periodic = true, int k = 0,
+                      NodeId publisher = 1, const char* name = "test/hrt") {
+    const Etag etag = *scn.binding().bind(subject_of(name));
+    SlotSpec s;
+    s.lst_offset = lst;
+    s.dlc = 8;
+    s.fault.omission_degree = k;
+    s.etag = etag;
+    s.publisher = publisher;
+    s.periodic = periodic;
+    const auto r = scn.calendar().reserve(s);
+    EXPECT_TRUE(r.has_value());
+    return *r;
+  }
+};
+
+// -------------------------------------------------------------- happy path
+
+TEST_F(HrtFixture, PublishDeliversExactlyAtDeadline) {
+  const std::size_t slot = reserve(1_ms);
+  const Calendar::Instance inst =
+      scn.calendar().instance_at_or_after(slot, TimePoint::origin());
+
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"), {}, nullptr).has_value());
+
+  std::vector<TimePoint> deliveries;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {},
+                            [&] { deliveries.push_back(sub_node->clock().now()); },
+                            nullptr)
+                  .has_value());
+
+  ASSERT_TRUE(pub.publish(make_event({0xde, 0xad})).has_value());
+  scn.run_for(2_ms);
+
+  ASSERT_EQ(deliveries.size(), 1u);
+  // Jitter removal: delivery exactly at the instance's delivery deadline.
+  EXPECT_EQ(deliveries[0].ns(), inst.deadline.ns());
+
+  const auto event = sub.getEvent();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->content, (std::vector<std::uint8_t>{0xde, 0xad}));
+  EXPECT_EQ(event->subject, subject_of("test/hrt"));
+  EXPECT_EQ(sub.getEvent(), std::nullopt);  // queue drained
+}
+
+TEST_F(HrtFixture, PeriodicStreamDeliversEveryRound) {
+  reserve(1_ms);
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::Periodic{10_ms}}, nullptr)
+                  .has_value());
+
+  int delivered = 0;
+  ASSERT_TRUE(
+      sub.subscribe(subject_of("test/hrt"), AttributeList{attr::QueueCapacity{32}},
+                    [&] { ++delivered; }, nullptr)
+          .has_value());
+
+  // Publish once per round, before each ready time.
+  for (int round = 0; round < 20; ++round) {
+    scn.sim().schedule_at(TimePoint::origin() + 10_ms * round,
+                          [&pub, round] {
+                            Event e;
+                            e.content = {static_cast<std::uint8_t>(round)};
+                            ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+                          });
+  }
+  scn.run_for(201_ms);
+  EXPECT_EQ(delivered, 20);
+  EXPECT_EQ(pub_node->middleware().hrt().counters().sent_ok, 20u);
+  EXPECT_EQ(sub_node->middleware().hrt().counters().missing, 0u);
+  // Payloads arrive in order.
+  for (int round = 0; round < 20; ++round) {
+    const auto e = sub.getEvent();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->content[0], static_cast<std::uint8_t>(round));
+  }
+}
+
+TEST_F(HrtFixture, DeliveryJitterIsZeroDespiteInterference) {
+  const std::size_t slot = reserve(1_ms);
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"), {}, nullptr).has_value());
+
+  std::vector<std::int64_t> offsets;  // delivery - deadline, per round
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {},
+                            [&] {
+                              const auto inst = scn.calendar().instance_at_or_after(
+                                  slot, sub_node->clock().now() - 1_ms);
+                              (void)inst;
+                              offsets.push_back(sub_node->clock().now().ns() %
+                                                (10_ms).ns());
+                            },
+                            nullptr)
+                  .has_value());
+
+  // Saturating NRT background from a third node.
+  Node& noisy = scn.add_node(3, perfect_clock());
+  std::function<void()> flood = [&] {
+    CanFrame f;
+    f.id = encode_can_id({kNrtPriorityMax, 3, 100});
+    f.dlc = 8;
+    if (noisy.controller().has_free_mailbox())
+      (void)noisy.controller().submit(f, TxMode::kAutoRetransmit);
+    scn.sim().schedule_after(100_us, flood);
+  };
+  scn.sim().schedule_after(0_ns, flood);
+
+  for (int round = 0; round < 10; ++round) {
+    scn.sim().schedule_at(TimePoint::origin() + 10_ms * round, [&pub] {
+      ASSERT_TRUE(pub.publish(make_event({1})).has_value());
+    });
+  }
+  scn.run_for(101_ms);
+
+  ASSERT_EQ(offsets.size(), 10u);
+  // Every delivery lands at the same phase within the round: zero jitter.
+  for (std::int64_t off : offsets) EXPECT_EQ(off, offsets[0]);
+}
+
+// --------------------------------------------------- ΔT_wait blocking guard
+
+TEST_F(HrtFixture, BlockerJustBeforeReadyCannotViolateDeadline) {
+  const std::size_t slot = reserve(1_ms);
+  const Calendar::Instance inst =
+      scn.calendar().instance_at_or_after(slot, TimePoint::origin());
+
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"), {}, nullptr).has_value());
+
+  TimePoint delivery;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {},
+                            [&] { delivery = sub_node->clock().now(); }, nullptr)
+                  .has_value());
+  ASSERT_TRUE(pub.publish(make_event({7})).has_value());
+
+  // Adversary: a worst-case-length NRT frame requested 1 ns before the
+  // slot's ready time — it seizes the idle bus and cannot be preempted.
+  Node& adversary = scn.add_node(9, perfect_clock());
+  TimePoint hrt_start;
+  scn.bus().add_observer([&](const CanBus::FrameEvent& ev) {
+    if (id_priority(ev.frame.id) == kHrtPriority) hrt_start = ev.start;
+  });
+  scn.sim().schedule_at(inst.ready - 1_ns, [&] {
+    CanFrame f;
+    f.id = encode_can_id({kNrtPriorityMax, 9, 200});
+    f.dlc = 8;
+    f.data.fill(0);  // heavy stuffing: near-worst-case length
+    ASSERT_TRUE(adversary.controller()
+                    .submit(f, TxMode::kAutoRetransmit)
+                    .has_value());
+  });
+
+  scn.run_for(2_ms);
+  // The HRT transmission started no later than LST...
+  EXPECT_LE(hrt_start.ns(), inst.lst.ns());
+  EXPECT_GT(hrt_start.ns(), inst.ready.ns());  // and was genuinely blocked
+  // ...and delivery still happened exactly at the deadline.
+  EXPECT_EQ(delivery.ns(), inst.deadline.ns());
+}
+
+// ------------------------------------------------------------------- faults
+
+TEST_F(HrtFixture, ToleratesFaultsWithinOmissionDegree) {
+  reserve(1_ms, true, 2);  // slot sized for 2 omissions
+  auto faults = std::make_unique<ScriptedFaults>();
+  // Corrupt the first two transmissions of every HRT message. Middleware
+  // retries are fresh single-shot submissions (controller attempt is always
+  // 1), so the script counts transmissions itself: with 3 per message
+  // (2 corrupt + 1 clean) the counter stays message-aligned.
+  auto counter = std::make_shared<int>(0);
+  faults->add_rule([counter](const FaultContext& ctx) {
+    if (id_priority(ctx.frame.id) != kHrtPriority) return false;
+    return (*counter)++ % 3 < 2;
+  });
+  scn.set_fault_model(std::move(faults));
+
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  int pub_exceptions = 0;
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::Reliability{2}},
+                           [&](const ExceptionInfo&) { ++pub_exceptions; })
+                  .has_value());
+  int delivered = 0;
+  int sub_exceptions = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {}, [&] { ++delivered; },
+                            [&](const ExceptionInfo&) { ++sub_exceptions; })
+                  .has_value());
+
+  for (int round = 0; round < 5; ++round)
+    scn.sim().schedule_at(TimePoint::origin() + 10_ms * round, [&pub] {
+      ASSERT_TRUE(pub.publish(make_event({1})).has_value());
+    });
+  scn.run_for(45_ms);  // past round 4's deadline, before round 5's ready
+
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(pub_exceptions, 0);
+  EXPECT_EQ(sub_exceptions, 0);
+  // Redundancy was actually exercised: 2 retries per instance.
+  EXPECT_EQ(pub_node->middleware().hrt().counters().retries, 10u);
+}
+
+TEST_F(HrtFixture, FaultsBeyondAssumptionRaiseExceptionsBothSides) {
+  reserve(1_ms, true, 1);  // assumes at most 1 omission
+  auto faults = std::make_unique<ScriptedFaults>();
+  // Permanent disturbance: every HRT transmission corrupted — more faults
+  // than any finite omission degree covers.
+  faults->add_rule([](const FaultContext& ctx) {
+    return id_priority(ctx.frame.id) == kHrtPriority;
+  });
+  scn.set_fault_model(std::move(faults));
+
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  std::vector<ChannelError> pub_errors;
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"), {},
+                           [&](const ExceptionInfo& e) {
+                             pub_errors.push_back(e.error);
+                           })
+                  .has_value());
+  int delivered = 0;
+  std::vector<ChannelError> sub_errors;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {}, [&] { ++delivered; },
+                            [&](const ExceptionInfo& e) {
+                              sub_errors.push_back(e.error);
+                            })
+                  .has_value());
+
+  ASSERT_TRUE(pub.publish(make_event({1})).has_value());
+  scn.run_for(2_ms);
+
+  EXPECT_EQ(delivered, 0);
+  ASSERT_EQ(pub_errors.size(), 1u);
+  EXPECT_EQ(pub_errors[0], ChannelError::kTransmissionFailed);
+  ASSERT_EQ(sub_errors.size(), 1u);
+  EXPECT_EQ(sub_errors[0], ChannelError::kMissingMessage);
+}
+
+// ----------------------------------------------------------- missing message
+
+TEST_F(HrtFixture, MissingPeriodicPublicationDetectedBySubscriber) {
+  reserve(1_ms);
+  Hrtec sub{sub_node->middleware()};
+  std::vector<ChannelError> errors;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {}, nullptr,
+                            [&](const ExceptionInfo& e) {
+                              errors.push_back(e.error);
+                            })
+                  .has_value());
+  scn.run_for(25_ms);  // three delivery deadlines elapse, nothing published
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(errors[0], ChannelError::kMissingMessage);
+}
+
+TEST_F(HrtFixture, SporadicSlotSilentWhenUnused) {
+  reserve(1_ms, /*periodic=*/false);
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  int pub_exc = 0;
+  int sub_exc = 0;
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::Sporadic{10_ms}},
+                           [&](const ExceptionInfo&) { ++pub_exc; })
+                  .has_value());
+  int delivered = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {}, [&] { ++delivered; },
+                            [&](const ExceptionInfo&) { ++sub_exc; })
+                  .has_value());
+
+  // Publish only in round 2.
+  scn.sim().schedule_at(TimePoint::origin() + 20_ms, [&pub] {
+    ASSERT_TRUE(pub.publish(make_event({5})).has_value());
+  });
+  scn.run_for(50_ms);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(pub_exc, 0);  // unused sporadic instances are not errors
+  EXPECT_EQ(sub_exc, 0);
+}
+
+TEST_F(HrtFixture, MissedPeriodicPublicationRaisesPublisherException) {
+  reserve(1_ms);
+  Hrtec pub{pub_node->middleware()};
+  std::vector<ChannelError> errors;
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"), {},
+                           [&](const ExceptionInfo& e) {
+                             errors.push_back(e.error);
+                           })
+                  .has_value());
+  scn.run_for(15_ms);  // one instance passes without publish()
+  ASSERT_GE(errors.size(), 1u);
+  EXPECT_EQ(errors[0], ChannelError::kPublishMissed);
+}
+
+// ---------------------------------------------------------- late publication
+
+TEST_F(HrtFixture, LatePublicationRidesNextInstance) {
+  const std::size_t slot = reserve(1_ms, /*periodic=*/false);
+  const auto first = scn.calendar().instance_at_or_after(slot, TimePoint::origin());
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::Sporadic{10_ms}}, nullptr)
+                  .has_value());
+  std::vector<TimePoint> deliveries;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {},
+                            [&] { deliveries.push_back(sub_node->clock().now()); },
+                            nullptr)
+                  .has_value());
+
+  // Publish 1 us *after* this round's ready time.
+  scn.sim().schedule_at(first.ready + 1_us, [&pub] {
+    ASSERT_TRUE(pub.publish(make_event({9})).has_value());
+  });
+  scn.run_for(25_ms);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].ns(), (first.deadline + 10_ms).ns());
+}
+
+TEST_F(HrtFixture, OverwritingUnsentEventRaisesException) {
+  reserve(1_ms, /*periodic=*/false);
+  Hrtec pub{pub_node->middleware()};
+  std::vector<ChannelError> errors;
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::Sporadic{10_ms}},
+                           [&](const ExceptionInfo& e) {
+                             errors.push_back(e.error);
+                           })
+                  .has_value());
+  ASSERT_TRUE(pub.publish(make_event({1})).has_value());
+  ASSERT_TRUE(pub.publish(make_event({2})).has_value());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0], ChannelError::kEventOverwritten);
+}
+
+// ------------------------------------------------------------ multi-publisher
+
+TEST_F(HrtFixture, MultiPublisherChannelUsesOneSlotPerNode) {
+  reserve(1_ms, true, 0, /*publisher=*/1);
+  reserve(3_ms, true, 0, /*publisher=*/2);
+
+  Hrtec pub1{pub_node->middleware()};
+  Hrtec pub2{sub_node->middleware()};  // node 2 also publishes
+  Node& listener = scn.add_node(5, perfect_clock());
+  Hrtec sub{listener.middleware()};
+
+  ASSERT_TRUE(pub1.announce(subject_of("test/hrt"), {}, nullptr).has_value());
+  ASSERT_TRUE(pub2.announce(subject_of("test/hrt"), {}, nullptr).has_value());
+  int delivered = 0;
+  ASSERT_TRUE(
+      sub.subscribe(subject_of("test/hrt"), {}, [&] { ++delivered; }, nullptr)
+          .has_value());
+
+  ASSERT_TRUE(pub1.publish(make_event({1})).has_value());
+  ASSERT_TRUE(pub2.publish(make_event({2})).has_value());
+  scn.run_for(5_ms);
+  EXPECT_EQ(delivered, 2);
+  const auto a = sub.getEvent();
+  const auto b = sub.getEvent();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->content[0], 1);  // slot order
+  EXPECT_EQ(b->content[0], 2);
+}
+
+// -------------------------------------------------------------- API misuse
+
+TEST_F(HrtFixture, AnnounceWithoutReservationFails) {
+  Hrtec pub{pub_node->middleware()};
+  const auto r = pub.announce(subject_of("nonexistent"), {}, nullptr);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), ChannelError::kNoReservation);
+}
+
+TEST_F(HrtFixture, SubscribeWithoutReservationFails) {
+  Hrtec sub{sub_node->middleware()};
+  const auto r = sub.subscribe(subject_of("nonexistent"), {}, nullptr, nullptr);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), ChannelError::kNoReservation);
+}
+
+TEST_F(HrtFixture, PublishBeforeAnnounceFails) {
+  Hrtec pub{pub_node->middleware()};
+  const auto r = pub.publish(make_event({1}));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), ChannelError::kNotAnnounced);
+}
+
+TEST_F(HrtFixture, PayloadLargerThanReservationFails) {
+  reserve(1_ms);
+  Hrtec pub{pub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::MessageSize{2}}, nullptr)
+                  .has_value());
+  const auto r = pub.publish(make_event({1, 2, 3}));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), ChannelError::kPayloadTooLarge);
+}
+
+TEST_F(HrtFixture, PeriodAttributeMustMatchReservationRate) {
+  reserve(1_ms);  // one instance every 10 ms round
+  Hrtec pub{pub_node->middleware()};
+  // Declaring a 20 ms period against a 10 ms reservation: configuration
+  // mismatch, rejected at announce time.
+  const auto r = pub.announce(subject_of("test/hrt"),
+                              AttributeList{attr::Periodic{20_ms}}, nullptr);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), ChannelError::kInvalidAttribute);
+  // The matching declaration is accepted.
+  EXPECT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::Periodic{10_ms}}, nullptr)
+                  .has_value());
+}
+
+TEST_F(HrtFixture, AttributesCannotExceedReservation) {
+  reserve(1_ms, true, 1);  // k = 1 reserved
+  Hrtec pub{pub_node->middleware()};
+  const auto r = pub.announce(subject_of("test/hrt"),
+                              AttributeList{attr::Reliability{3}}, nullptr);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), ChannelError::kInvalidAttribute);
+}
+
+TEST_F(HrtFixture, CancelSubscriptionStopsDeliveriesAndExceptions) {
+  reserve(1_ms);
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"), {}, nullptr).has_value());
+  int delivered = 0;
+  int exceptions = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"), {}, [&] { ++delivered; },
+                            [&](const ExceptionInfo&) { ++exceptions; })
+                  .has_value());
+  ASSERT_TRUE(pub.publish(make_event({1})).has_value());
+  scn.run_for(2_ms);
+  EXPECT_EQ(delivered, 1);
+  ASSERT_TRUE(sub.cancelSubscription().has_value());
+  scn.run_for(30_ms);  // further rounds: no deliveries, no missing-message
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(exceptions, 0);
+  // Double-cancel is an error.
+  EXPECT_FALSE(sub.cancelSubscription().has_value());
+}
+
+// ----------------------------------------------------- bandwidth reclamation
+
+TEST_F(HrtFixture, UnusedSporadicSlotReclaimedByNrt) {
+  const std::size_t slot = reserve(1_ms, /*periodic=*/false);
+  const auto inst = scn.calendar().instance_at_or_after(slot, TimePoint::origin());
+  Hrtec pub{pub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::Sporadic{10_ms}}, nullptr)
+                  .has_value());
+
+  // NRT node floods; count NRT bus activity inside the reserved window.
+  Node& noisy = scn.add_node(3, perfect_clock());
+  std::int64_t nrt_bits_in_window = 0;
+  scn.bus().add_observer([&](const CanBus::FrameEvent& ev) {
+    if (id_priority(ev.frame.id) < kNrtPriorityMin) return;
+    if (ev.start >= inst.ready && ev.start < inst.deadline)
+      nrt_bits_in_window += ev.wire_bits;
+  });
+  std::function<void()> flood = [&] {
+    CanFrame f;
+    f.id = encode_can_id({kNrtPriorityMax, 3, 300});
+    f.dlc = 8;
+    if (noisy.controller().has_free_mailbox())
+      (void)noisy.controller().submit(f, TxMode::kAutoRetransmit);
+    scn.sim().schedule_after(50_us, flood);
+  };
+  scn.sim().schedule_after(0_ns, flood);
+
+  scn.run_for(2_ms);
+  // The sporadic slot went unused; NRT traffic flowed straight through the
+  // reserved window (the paper's key advantage over TDMA).
+  EXPECT_GT(nrt_bits_in_window, 100);
+}
+
+TEST_F(HrtFixture, SuccessfulEarlyTransmissionReclaimsSlotRemainder) {
+  const std::size_t slot = reserve(1_ms, true, /*k=*/3);  // big window
+  const auto inst = scn.calendar().instance_at_or_after(slot, TimePoint::origin());
+  Hrtec pub{pub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"), {}, nullptr).has_value());
+  ASSERT_TRUE(pub.publish(make_event({1})).has_value());
+
+  Node& noisy = scn.add_node(3, perfect_clock());
+  std::int64_t nrt_frames_in_window = 0;
+  TimePoint hrt_end;
+  scn.bus().add_observer([&](const CanBus::FrameEvent& ev) {
+    if (id_priority(ev.frame.id) == kHrtPriority) hrt_end = ev.end;
+    if (id_priority(ev.frame.id) >= kNrtPriorityMin && ev.start >= inst.ready &&
+        ev.start < inst.deadline)
+      ++nrt_frames_in_window;
+  });
+  std::function<void()> flood = [&] {
+    CanFrame f;
+    f.id = encode_can_id({kNrtPriorityMax, 3, 300});
+    f.dlc = 8;
+    if (noisy.controller().has_free_mailbox())
+      (void)noisy.controller().submit(f, TxMode::kAutoRetransmit);
+    scn.sim().schedule_after(50_us, flood);
+  };
+  scn.sim().schedule_after(0_ns, flood);
+
+  scn.run_for(2_ms);
+  // No faults: the HRT frame went out once, early in the window; the
+  // remaining (k+... retries) reservation was used by NRT frames.
+  EXPECT_LT(hrt_end.ns(), inst.deadline.ns());
+  EXPECT_GT(nrt_frames_in_window, 0);
+  EXPECT_EQ(pub_node->middleware().hrt().counters().retries, 0u);
+}
+
+
+TEST_F(HrtFixture, AlwaysTransmitCopiesAblationBurnsTheReservation) {
+  reserve(1_ms, true, /*k=*/2);
+  Hrtec pub{pub_node->middleware()};
+  Hrtec sub{sub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"),
+                           AttributeList{attr::AlwaysTransmitCopies{}},
+                           nullptr)
+                  .has_value());
+  int delivered = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("test/hrt"),
+                            AttributeList{attr::QueueCapacity{16}},
+                            [&] {
+                              ++delivered;
+                              (void)sub.getEvent();
+                            },
+                            nullptr)
+                  .has_value());
+
+  int hrt_frames = 0;
+  scn.bus().add_observer([&](const CanBus::FrameEvent& ev) {
+    if (id_priority(ev.frame.id) == kHrtPriority && ev.success) ++hrt_frames;
+  });
+  for (int round = 0; round < 3; ++round)
+    scn.sim().schedule_at(TimePoint::origin() + 10_ms * round, [&pub] {
+      ASSERT_TRUE(pub.publish(make_event({1})).has_value());
+    });
+  scn.run_for(25_ms);
+
+  // Fault-free bus, yet all k+1 = 3 copies of each instance went out —
+  // and the subscriber still delivered each instance exactly once (the
+  // duplicates land in the same window and collapse).
+  EXPECT_EQ(hrt_frames, 9);
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(sub_node->middleware().hrt().counters().missing, 0u);
+}
+
+TEST_F(HrtFixture, DefaultSchemeSuppressesCopiesOnCleanBus) {
+  reserve(1_ms, true, /*k=*/2);
+  Hrtec pub{pub_node->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("test/hrt"), {}, nullptr).has_value());
+  int hrt_frames = 0;
+  scn.bus().add_observer([&](const CanBus::FrameEvent& ev) {
+    if (id_priority(ev.frame.id) == kHrtPriority && ev.success) ++hrt_frames;
+  });
+  for (int round = 0; round < 3; ++round)
+    scn.sim().schedule_at(TimePoint::origin() + 10_ms * round, [&pub] {
+      ASSERT_TRUE(pub.publish(make_event({1})).has_value());
+    });
+  scn.run_for(25_ms);
+  EXPECT_EQ(hrt_frames, 3);  // one per instance: redundancy suppressed
+}
+
+}  // namespace
+}  // namespace rtec

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "canbus/bus.hpp"
+#include "time/clock.hpp"
+#include "time/sync.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_us;
+using literals::operator""_ms;
+
+struct SyncFixture : ::testing::Test {
+  Simulator sim;
+  CanBus bus{sim, BusConfig{1'000'000}};
+  CanController master_ctl{sim, 0};
+  LocalClock master_clk{sim, Duration::zero(), 0, 1_us};
+
+  struct Slave {
+    std::unique_ptr<CanController> ctl;
+    std::unique_ptr<LocalClock> clk;
+    std::unique_ptr<SyncSlave> sync;
+  };
+  std::vector<Slave> slaves;
+
+  void SetUp() override { bus.attach(master_ctl); }
+
+  Slave& add_slave(NodeId id, Duration offset, std::int64_t drift_ppb,
+                   const SyncConfig& cfg) {
+    Slave s;
+    s.ctl = std::make_unique<CanController>(sim, id);
+    bus.attach(*s.ctl);
+    s.clk = std::make_unique<LocalClock>(sim, offset, drift_ppb, 1_us);
+    s.sync = std::make_unique<SyncSlave>(sim, *s.ctl, *s.clk, cfg);
+    slaves.push_back(std::move(s));
+    return slaves.back();
+  }
+
+  Duration disagreement(const LocalClock& a, const LocalClock& b) const {
+    const TimePoint ta = a.to_local(sim.now());
+    const TimePoint tb = b.to_local(sim.now());
+    return ta > tb ? ta - tb : tb - ta;
+  }
+};
+
+TEST_F(SyncFixture, SingleRoundRemovesInitialOffset) {
+  SyncConfig cfg;
+  cfg.period = 10_ms;
+  cfg.rate_correction = false;
+  auto& slave = add_slave(1, 5_ms, 0, cfg);  // starts 5 ms off
+
+  SyncMaster master{sim, master_ctl, master_clk, cfg};
+  master.start();
+  sim.run_until(TimePoint::origin() + 5_ms);
+
+  EXPECT_EQ(slave.sync->rounds_applied(), 1u);
+  // Residual error bounded by reading granularity (1 us per clock).
+  EXPECT_LE(disagreement(master_clk, *slave.clk).ns(), (2_us).ns());
+}
+
+TEST_F(SyncFixture, DriftingClockStaysWithinBound) {
+  SyncConfig cfg;
+  cfg.period = 100_ms;
+  cfg.rate_correction = false;
+  auto& slave = add_slave(1, 200_us, 100'000, cfg);  // +100 ppm
+
+  SyncMaster master{sim, master_ctl, master_clk, cfg};
+  master.start();
+  sim.run_until(TimePoint::origin() + Duration::seconds(2));
+
+  // Between rounds a 100 ppm clock wanders 10 us per 100 ms; plus reading
+  // granularity on both sides. Must stay well under the paper's 40 us gap.
+  EXPECT_GE(slave.sync->rounds_applied(), 19u);
+  EXPECT_LE(disagreement(master_clk, *slave.clk).ns(), (13_us).ns());
+  EXPECT_LE(slave.sync->last_correction().ns() < 0
+                ? -slave.sync->last_correction().ns()
+                : slave.sync->last_correction().ns(),
+            (13_us).ns());
+}
+
+TEST_F(SyncFixture, RateCorrectionShrinksPerRoundError) {
+  SyncConfig cfg;
+  cfg.period = 100_ms;
+  cfg.rate_correction = true;
+  auto& slave = add_slave(1, Duration::zero(), 150'000, cfg);  // +150 ppm
+
+  SyncMaster master{sim, master_ctl, master_clk, cfg};
+  master.start();
+  sim.run_until(TimePoint::origin() + Duration::seconds(5));
+
+  // The servo should have pulled the effective drift close to zero, so the
+  // last step correction is dominated by granularity, not by 15 us of
+  // wander.
+  const Duration last = slave.sync->last_correction() < Duration::zero()
+                            ? -slave.sync->last_correction()
+                            : slave.sync->last_correction();
+  EXPECT_LE(last.ns(), (6_us).ns());
+}
+
+TEST_F(SyncFixture, MultipleSlavesAgreePairwise) {
+  SyncConfig cfg;
+  cfg.period = 50_ms;
+  add_slave(1, 300_us, 80'000, cfg);
+  add_slave(2, -150_us, -60'000, cfg);
+  add_slave(3, 40_us, 20'000, cfg);
+
+  SyncMaster master{sim, master_ctl, master_clk, cfg};
+  master.start();
+  sim.run_until(TimePoint::origin() + Duration::seconds(1));
+
+  for (std::size_t i = 0; i < slaves.size(); ++i)
+    for (std::size_t j = i + 1; j < slaves.size(); ++j)
+      EXPECT_LE(disagreement(*slaves[i].clk, *slaves[j].clk).ns(), (15_us).ns())
+          << "slaves " << i << "," << j;
+}
+
+TEST_F(SyncFixture, SyncSurvivesFrameCorruption) {
+  SyncConfig cfg;
+  cfg.period = 20_ms;
+  cfg.rate_correction = false;
+  auto& slave = add_slave(1, 1_ms, 0, cfg);
+
+  // Corrupt the first attempt of every frame: auto-retransmit recovers.
+  ScriptedFaults faults;
+  faults.add_rule([](const FaultContext& ctx) { return ctx.attempt == 1; });
+  bus.set_fault_model(&faults);
+
+  SyncMaster master{sim, master_ctl, master_clk, cfg};
+  master.start();
+  sim.run_until(TimePoint::origin() + 100_ms);
+
+  EXPECT_GE(slave.sync->rounds_applied(), 4u);
+  EXPECT_LE(disagreement(master_clk, *slave.clk).ns(), (3_us).ns());
+}
+
+TEST_F(SyncFixture, MasterOutageCoastsAndRecovers) {
+  SyncConfig cfg;
+  cfg.period = 20_ms;
+  auto& slave = add_slave(1, 100_us, 120'000, cfg);  // +120 ppm
+
+  SyncMaster master{sim, master_ctl, master_clk, cfg};
+  master.start();
+  sim.run_until(TimePoint::origin() + Duration::seconds(2));  // servo locked
+  const Duration locked = disagreement(master_clk, *slave.clk);
+  EXPECT_LE(locked.ns(), (5_us).ns());
+
+  // Outage: the master stops for 1 s; the slave coasts on its corrected
+  // rate — far better than raw 120 ppm (which would wander 120 us).
+  master.stop();
+  sim.run_until(TimePoint::origin() + Duration::seconds(3));
+  const Duration coasted = disagreement(master_clk, *slave.clk);
+  EXPECT_LE(coasted.ns(), (40_us).ns());
+
+  // Restart: discipline resumes and pulls the clocks back together.
+  master.start();
+  sim.run_until(TimePoint::origin() + Duration::seconds(4));
+  EXPECT_LE(disagreement(master_clk, *slave.clk).ns(), (5_us).ns());
+  EXPECT_GE(slave.sync->rounds_applied(), 140u);
+}
+
+TEST_F(SyncFixture, SlaveJoiningLateConverges) {
+  SyncConfig cfg;
+  cfg.period = 20_ms;
+  SyncMaster master{sim, master_ctl, master_clk, cfg};
+  master.start();
+  sim.run_until(TimePoint::origin() + Duration::seconds(1));
+
+  // A node powers up mid-operation with a wildly wrong clock.
+  auto& late = add_slave(5, Duration::milliseconds(50), -90'000, cfg);
+  sim.run_until(TimePoint::origin() + Duration::seconds(1) + 100_ms);
+  EXPECT_GE(late.sync->rounds_applied(), 4u);
+  EXPECT_LE(disagreement(master_clk, *late.clk).ns(), (5_us).ns());
+}
+
+TEST(RequiredSlotGap, FormulaAndPaperBudget) {
+  // 1 us granularity, 100 ppm drift bound, 100 ms resync: wander 10 us,
+  // so the gap must cover 2*(1+10) = 22 us — inside the paper's 40 us.
+  const Duration gap = required_slot_gap(1_us, 100'000, 100_ms);
+  EXPECT_EQ(gap.ns(), (22_us).ns());
+  EXPECT_LE(gap.ns(), (40_us).ns());
+  // The paper's conservative budget corresponds to e.g. 200 ppm @ 90 ms.
+  EXPECT_GE((40_us).ns(), required_slot_gap(1_us, 200'000, 90_ms).ns());
+}
+
+}  // namespace
+}  // namespace rtec

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/content.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_ms;
+
+TEST(Content, ScalarRoundTrip) {
+  Event e;
+  ContentWriter{e}.u8(0x12).u16(0x3456).u32(0x789abcde).i8(-5);
+  EXPECT_EQ(e.content.size(), 8u);  // fits an RT frame exactly
+
+  ContentReader r{e};
+  EXPECT_EQ(r.u8(), 0x12);
+  EXPECT_EQ(r.u16(), 0x3456);
+  EXPECT_EQ(r.u32(), 0x789abcdeu);
+  EXPECT_EQ(r.i8(), -5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Content, SignedAndWideTypes) {
+  Event e;
+  ContentWriter{e}.i16(-1234).i32(-7'654'321).i64(-9'000'000'000LL).u64(
+      0xffffffffffffffffULL);
+  ContentReader r{e};
+  EXPECT_EQ(r.i16(), -1234);
+  EXPECT_EQ(r.i32(), -7'654'321);
+  EXPECT_EQ(r.i64(), -9'000'000'000LL);
+  EXPECT_EQ(r.u64(), 0xffffffffffffffffULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Content, FloatRoundTrip) {
+  Event e;
+  ContentWriter{e}.f32(3.14159f).f32(-0.0f);
+  ContentReader r{e};
+  EXPECT_FLOAT_EQ(*r.f32(), 3.14159f);
+  EXPECT_FLOAT_EQ(*r.f32(), -0.0f);
+}
+
+TEST(Content, ShortPayloadReadsReturnNullopt) {
+  Event e;
+  ContentWriter{e}.u16(7);
+  ContentReader r{e};
+  EXPECT_EQ(r.u32(), std::nullopt);  // only 2 bytes available
+  EXPECT_EQ(r.u16(), 7);             // position unchanged by failed read
+  EXPECT_EQ(r.u8(), std::nullopt);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Content, RawBytesAppend) {
+  Event e;
+  ContentWriter{e}.u8(1).bytes("abc");
+  EXPECT_EQ(e.content.size(), 4u);
+  ContentReader r{e};
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_EQ(r.u8(), 'a');
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Content, SurvivesTheWire) {
+  // Write typed fields, publish over the simulated bus, read them back.
+  Scenario scn;
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+  Node& a = scn.add_node(1, perfect);
+  Node& b = scn.add_node(2, perfect);
+  Srtec pub{a.middleware()};
+  Srtec sub{b.middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("content/x"), {}, nullptr).has_value());
+  std::optional<Event> got;
+  ASSERT_TRUE(sub.subscribe(subject_of("content/x"), {},
+                            [&] { got = sub.getEvent(); }, nullptr)
+                  .has_value());
+
+  Event e;
+  ContentWriter{e}.u16(2150).i16(-40).f32(1.5f);
+  ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+  scn.run_for(2_ms);
+
+  ASSERT_TRUE(got.has_value());
+  ContentReader r{*got};
+  EXPECT_EQ(r.u16(), 2150);
+  EXPECT_EQ(r.i16(), -40);
+  EXPECT_FLOAT_EQ(*r.f32(), 1.5f);
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace rtec

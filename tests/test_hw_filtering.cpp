@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+
+/// The dynamic-binding payoff (§2.1): once a node subscribes, the CAN
+/// controller's acceptance filters do the subject routing in hardware and
+/// unrelated traffic never reaches the node's middleware.
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+Node::ClockParams perfect() {
+  Node::ClockParams p;
+  p.granularity = 1_ns;
+  return p;
+}
+
+TEST(HwFiltering, UnsubscribedTrafficNeverReachesTheMiddleware) {
+  Scenario scn;
+  Node& chatty = scn.add_node(1, perfect());
+  Node& listener = scn.add_node(2, perfect());
+
+  Srtec wanted_pub{chatty.middleware()};
+  Srtec unwanted_pub{chatty.middleware()};
+  ASSERT_TRUE(wanted_pub.announce(subject_of("hw/wanted"), {}, nullptr)
+                  .has_value());
+  ASSERT_TRUE(unwanted_pub.announce(subject_of("hw/unwanted"), {}, nullptr)
+                  .has_value());
+
+  Srtec sub{listener.middleware()};
+  int delivered = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("hw/wanted"),
+                            AttributeList{attr::QueueCapacity{64}},
+                            [&] {
+                              ++delivered;
+                              (void)sub.getEvent();
+                            },
+                            nullptr)
+                  .has_value());
+
+  for (int i = 0; i < 20; ++i) {
+    Event a;
+    a.content = {1};
+    ASSERT_TRUE(wanted_pub.publish(std::move(a)).has_value());
+    Event b;
+    b.content = {2};
+    ASSERT_TRUE(unwanted_pub.publish(std::move(b)).has_value());
+  }
+  scn.run_for(50_ms);
+
+  EXPECT_EQ(delivered, 20);
+  // The controller filtered the 20 unwanted frames in "hardware": the
+  // middleware saw only the subscribed channel's traffic.
+  EXPECT_EQ(listener.middleware().rx_frames_seen(), 20u);
+}
+
+TEST(HwFiltering, PromiscuousUntilFirstSubscription) {
+  Scenario scn;
+  Node& chatty = scn.add_node(1, perfect());
+  Node& idle = scn.add_node(2, perfect());
+
+  Srtec pub{chatty.middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("hw/x"), {}, nullptr).has_value());
+  Event e;
+  e.content = {1};
+  ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+  scn.run_for(5_ms);
+  // Without any subscription the controller is promiscuous (default CAN
+  // behaviour): the frame reached the middleware and was dropped there.
+  EXPECT_EQ(idle.middleware().rx_frames_seen(), 1u);
+}
+
+TEST(HwFiltering, InfrastructureChannelsSurviveNarrowing) {
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  Scenario scn{cfg};
+  Node& master = scn.add_node(1);
+  Node& slave = scn.add_node(2, {Duration::microseconds(500), 50'000, 1_us});
+  Node& other = scn.add_node(3, perfect());
+  ASSERT_TRUE(scn.enable_clock_sync(master.id(), 500_us).has_value());
+
+  // The slave narrows its filters by subscribing to an app channel...
+  Srtec pub{other.middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("hw/app"), {}, nullptr).has_value());
+  Srtec sub{slave.middleware()};
+  ASSERT_TRUE(sub.subscribe(subject_of("hw/app"), {}, nullptr, nullptr)
+                  .has_value());
+
+  // ...and still receives sync rounds: its 500 us initial offset is
+  // corrected within the first rounds.
+  scn.run_for(35_ms);
+  ASSERT_NE(slave.sync_slave(), nullptr);
+  EXPECT_GE(slave.sync_slave()->rounds_applied(), 2u);
+  EXPECT_LE(scn.clock_precision().ns(), (10_us).ns());
+}
+
+TEST(HwFiltering, MultipleSubscriptionsAccumulateFilters) {
+  Scenario scn;
+  Node& chatty = scn.add_node(1, perfect());
+  Node& listener = scn.add_node(2, perfect());
+  Srtec pub_a{chatty.middleware()};
+  Srtec pub_b{chatty.middleware()};
+  Srtec pub_c{chatty.middleware()};
+  ASSERT_TRUE(pub_a.announce(subject_of("hw/a"), {}, nullptr).has_value());
+  ASSERT_TRUE(pub_b.announce(subject_of("hw/b"), {}, nullptr).has_value());
+  ASSERT_TRUE(pub_c.announce(subject_of("hw/c"), {}, nullptr).has_value());
+
+  Srtec sub_a{listener.middleware()};
+  Srtec sub_b{listener.middleware()};
+  int got_a = 0;
+  int got_b = 0;
+  ASSERT_TRUE(sub_a.subscribe(subject_of("hw/a"), {}, [&] { ++got_a; }, nullptr)
+                  .has_value());
+  ASSERT_TRUE(sub_b.subscribe(subject_of("hw/b"), {}, [&] { ++got_b; }, nullptr)
+                  .has_value());
+
+  for (Srtec* p : {&pub_a, &pub_b, &pub_c}) {
+    Event e;
+    e.content = {1};
+    ASSERT_TRUE(p->publish(std::move(e)).has_value());
+  }
+  scn.run_for(5_ms);
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(listener.middleware().rx_frames_seen(), 2u);  // c filtered out
+}
+
+}  // namespace
+}  // namespace rtec

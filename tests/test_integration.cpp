@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/hrtec.hpp"
+#include "core/nrtec.hpp"
+#include "core/scenario.hpp"
+#include "time/periodic.hpp"
+#include "core/srtec.hpp"
+#include "trace/metrics.hpp"
+#include "util/task_pool.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+/// Full-stack scenario: synchronized drifting clocks, one HRT sensor
+/// stream, SRT command traffic, NRT bulk transfer and random omission
+/// faults — all at once. This is the paper's whole system in one test.
+TEST(Integration, MixedTrafficUnderFaultsKeepsHrtGuarantees) {
+  TaskPool tasks;
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  cfg.calendar.gap = 40_us;
+  Scenario scn{cfg};
+
+  // Clocks: up to ±20 us initial offset, up to ±80 ppm drift, 1 us tick.
+  auto clock_params = [](std::int64_t offset_us, std::int64_t drift_ppb) {
+    Node::ClockParams p;
+    p.initial_offset = Duration::microseconds(offset_us);
+    p.drift_ppb = drift_ppb;
+    return p;
+  };
+  Node& sensor = scn.add_node(1, clock_params(15, 80'000));
+  Node& controller = scn.add_node(2, clock_params(-20, -60'000));
+  Node& logger = scn.add_node(3, clock_params(5, 30'000));
+  Node& master = scn.add_node(4, clock_params(0, 0));
+
+  // Sync slot around LST 500 us; app HRT slot at LST 2 ms with k=2.
+  ASSERT_TRUE(scn.enable_clock_sync(master.id(), 500_us).has_value());
+  const Etag hrt_etag = *scn.binding().bind(subject_of("plant/pressure"));
+  SlotSpec slot;
+  slot.lst_offset = 2_ms;
+  slot.dlc = 8;
+  slot.fault.omission_degree = 2;
+  slot.etag = hrt_etag;
+  slot.publisher = sensor.id();
+  ASSERT_TRUE(scn.calendar().reserve(slot).has_value());
+
+  // Random omission faults at 1%.
+  scn.set_fault_model(std::make_unique<RandomOmissionFaults>(0.01, 1234));
+
+  // Warm up the clock sync for two rounds before real-time operation.
+  scn.run_for(20_ms);
+  EXPECT_LE(scn.clock_precision().ns(), (15_us).ns());
+
+  // HRT: pressure sensor -> controller, every round.
+  Hrtec hrt_pub{sensor.middleware()};
+  Hrtec hrt_sub{controller.middleware()};
+  int hrt_pub_exc = 0;
+  ASSERT_TRUE(hrt_pub.announce(subject_of("plant/pressure"),
+                               AttributeList{attr::Periodic{10_ms}},
+                               [&](const ExceptionInfo&) { ++hrt_pub_exc; })
+                  .has_value());
+  int hrt_delivered = 0;
+  int hrt_missing = 0;
+  std::vector<std::int64_t> delivery_phases;
+  ASSERT_TRUE(hrt_sub.subscribe(subject_of("plant/pressure"),
+                                AttributeList{attr::QueueCapacity{64}},
+                                [&] {
+                                  ++hrt_delivered;
+                                  delivery_phases.push_back(
+                                      controller.clock().now().ns() %
+                                      (10_ms).ns());
+                                },
+                                [&](const ExceptionInfo&) { ++hrt_missing; })
+                  .has_value());
+
+  // Publish before every slot's ready time, driven by the sensor's clock.
+  auto* publish_loop = tasks.make();
+  *publish_loop = [&, publish_loop] {
+    Event e;
+    e.content = {1, 2, 3, 4};
+    (void)hrt_pub.publish(std::move(e));
+    sensor.clock().schedule_at_local(sensor.clock().now() + 10_ms,
+                                     [publish_loop] { (*publish_loop)(); });
+  };
+  // Start immediately: at local ~20 ms, 1.84 ms before the first armed
+  // instance's ready time, then every 10 ms — always one event staged per
+  // round.
+  (*publish_loop)();
+
+  // SRT: controller sends commands with 5 ms deadlines every 2 ms.
+  Srtec srt_pub{controller.middleware()};
+  Srtec srt_sub{sensor.middleware()};
+  int srt_deadline_missed = 0;
+  ASSERT_TRUE(srt_pub.announce(subject_of("plant/cmd"),
+                               AttributeList{attr::Deadline{5_ms}},
+                               [&](const ExceptionInfo& e) {
+                                 if (e.error == ChannelError::kDeadlineMissed)
+                                   ++srt_deadline_missed;
+                               })
+                  .has_value());
+  int srt_delivered = 0;
+  ASSERT_TRUE(srt_sub.subscribe(subject_of("plant/cmd"),
+                                AttributeList{attr::QueueCapacity{64}},
+                                [&] {
+                                  ++srt_delivered;
+                                  (void)srt_sub.getEvent();
+                                },
+                                nullptr)
+                  .has_value());
+  auto* srt_loop = tasks.make();
+  *srt_loop = [&, srt_loop] {
+    Event e;
+    e.content = {9};
+    (void)srt_pub.publish(std::move(e));
+    scn.sim().schedule_after(2_ms, [srt_loop] { (*srt_loop)(); });
+  };
+  scn.sim().schedule_after(0_ns, [srt_loop] { (*srt_loop)(); });
+
+  // NRT: logger uploads a 4 KiB blob.
+  Nrtec nrt_pub{logger.middleware()};
+  Nrtec nrt_sub{controller.middleware()};
+  const AttributeList frag{attr::Fragmentation{true}};
+  ASSERT_TRUE(nrt_pub.announce(subject_of("logger/blob"), frag, nullptr)
+                  .has_value());
+  int blobs = 0;
+  ASSERT_TRUE(nrt_sub.subscribe(subject_of("logger/blob"), frag,
+                                [&] {
+                                  ++blobs;
+                                  (void)nrt_sub.getEvent();
+                                },
+                                nullptr)
+                  .has_value());
+  {
+    Event blob;
+    blob.content.assign(4096, 0xCD);
+    ASSERT_TRUE(nrt_pub.publish(std::move(blob)).has_value());
+  }
+
+  ClassUtilization util{scn.bus()};
+  scn.run_for(Duration::milliseconds(500));  // 50 rounds
+
+  // HRT guarantees hold under load + 1% faults within the fault assumption.
+  EXPECT_GE(hrt_delivered, 49);
+  EXPECT_EQ(hrt_missing, 0);
+  EXPECT_EQ(hrt_pub_exc, 0);
+  // Delivery phase within the round is constant (zero middleware jitter) up
+  // to the subscriber's own clock corrections (< a few us).
+  ASSERT_GE(delivery_phases.size(), 2u);
+  for (std::size_t i = 1; i < delivery_phases.size(); ++i)
+    EXPECT_NEAR(static_cast<double>(delivery_phases[i]),
+                static_cast<double>(delivery_phases[0]), 10'000.0);
+
+  // SRT is healthy at this load.
+  EXPECT_GE(srt_delivered, 240);
+  EXPECT_EQ(srt_deadline_missed, 0);
+
+  // The bulk transfer completed without disturbing anything above it.
+  EXPECT_EQ(blobs, 1);
+
+  // All three classes actually used the bus.
+  EXPECT_GT(util.frames(TrafficClass::kHrt), 0u);
+  EXPECT_GT(util.frames(TrafficClass::kSrt), 0u);
+  EXPECT_GT(util.frames(TrafficClass::kNrt), 0u);
+}
+
+/// The sync service's reserved slot keeps it from colliding with HRT
+/// application slots even at priority 0.
+TEST(Integration, SyncTrafficStaysInsideItsReservedWindow) {
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  Scenario scn{cfg};
+  Node& master = scn.add_node(1);
+  scn.add_node(2, {Duration::microseconds(10), 40'000, 1_us});
+  ASSERT_TRUE(scn.enable_clock_sync(master.id(), 500_us).has_value());
+
+  const auto timing = scn.calendar().timing(0);
+  std::vector<TimePoint> sync_frames;
+  scn.bus().add_observer([&](const CanBus::FrameEvent& ev) {
+    const auto f = decode_can_id(ev.frame.id);
+    if (f.etag == kSyncRefEtag || f.etag == kSyncFollowEtag)
+      sync_frames.push_back(ev.start);
+  });
+  scn.run_for(Duration::milliseconds(100));
+
+  ASSERT_GE(sync_frames.size(), 20u);  // 2 frames x 10 rounds
+  for (TimePoint t : sync_frames) {
+    const std::int64_t phase = t.ns() % (10_ms).ns();
+    EXPECT_GE(phase, timing.ready_offset.ns() - (5_us).ns());
+    EXPECT_LE(phase, timing.deadline_offset.ns());
+  }
+}
+
+/// Node crash and restart: the middleware surfaces the outage, the rest of
+/// the system keeps its guarantees.
+TEST(Integration, NodeCrashIsolatedFromOtherChannels) {
+  TaskPool tasks;
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  Scenario scn{cfg};
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+  Node& a = scn.add_node(1, perfect);
+  Node& b = scn.add_node(2, perfect);
+  Node& c = scn.add_node(3, perfect);
+
+  const Etag etag_a = *scn.binding().bind(subject_of("a/data"));
+  SlotSpec slot;
+  slot.lst_offset = 2_ms;
+  slot.etag = etag_a;
+  slot.publisher = a.id();
+  ASSERT_TRUE(scn.calendar().reserve(slot).has_value());
+
+  Hrtec pub{a.middleware()};
+  Hrtec sub{c.middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("a/data"), {}, nullptr).has_value());
+  int delivered = 0;
+  int missing = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("a/data"),
+                            AttributeList{attr::QueueCapacity{64}},
+                            [&] { ++delivered; },
+                            [&](const ExceptionInfo&) { ++missing; })
+                  .has_value());
+
+  Srtec srt_pub{b.middleware()};
+  Srtec srt_sub{c.middleware()};
+  ASSERT_TRUE(srt_pub.announce(subject_of("b/data"), {}, nullptr).has_value());
+  int srt_delivered = 0;
+  ASSERT_TRUE(srt_sub.subscribe(subject_of("b/data"),
+                                AttributeList{attr::QueueCapacity{64}},
+                                [&] {
+                                  ++srt_delivered;
+                                  (void)srt_sub.getEvent();
+                                },
+                                nullptr)
+                  .has_value());
+
+  auto* hrt_loop = tasks.make();
+  *hrt_loop = [&, hrt_loop] {
+    Event e;
+    e.content = {1};
+    (void)pub.publish(std::move(e));
+    scn.sim().schedule_after(10_ms, [hrt_loop] { (*hrt_loop)(); });
+  };
+  scn.sim().schedule_after(0_ns, [hrt_loop] { (*hrt_loop)(); });
+  auto* srt_loop = tasks.make();
+  *srt_loop = [&, srt_loop] {
+    Event e;
+    e.content = {2};
+    (void)srt_pub.publish(std::move(e));
+    scn.sim().schedule_after(5_ms, [srt_loop] { (*srt_loop)(); });
+  };
+  scn.sim().schedule_after(0_ns, [srt_loop] { (*srt_loop)(); });
+
+  // Crash node a (the HRT publisher) for rounds 5..9.
+  scn.sim().schedule_at(TimePoint::origin() + 50_ms,
+                        [&] { a.controller().set_online(false); });
+  scn.sim().schedule_at(TimePoint::origin() + 100_ms,
+                        [&] { a.controller().set_online(true); });
+
+  scn.run_for(Duration::milliseconds(200));
+
+  // The subscriber detected every missing instance during the outage...
+  EXPECT_GE(missing, 4);
+  EXPECT_GE(delivered, 13);
+  // ...while node b's SRT channel ran undisturbed throughout.
+  EXPECT_GE(srt_delivered, 39);
+}
+
+
+/// Documented limitation (DESIGN.md §5): like the paper's protocol, the
+/// scheme relies on every middleware honouring the priority bands. A
+/// faulty "babbling idiot" node that spams the exclusive priority 0
+/// outside any reservation DOES break HRT guarantees — protection against
+/// that failure mode needs bus guardians (TTP-style), which neither the
+/// paper nor this implementation provides. This test pins the limitation
+/// so it stays documented rather than silently assumed away.
+TEST(Integration, BabblingIdiotBreaksHrtGuaranteesAsDocumented) {
+  TaskPool tasks;
+  Scenario::Config cfg;
+  cfg.calendar.round_length = 10_ms;
+  Scenario scn{cfg};
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+  Node& a = scn.add_node(1, perfect);
+  Node& c = scn.add_node(3, perfect);
+  Node& babbler = scn.add_node(9, perfect);
+
+  const Etag etag = *scn.binding().bind(subject_of("bab/data"));
+  SlotSpec slot;
+  slot.lst_offset = 2_ms;
+  slot.etag = etag;
+  slot.publisher = a.id();
+  ASSERT_TRUE(scn.calendar().reserve(slot).has_value());
+
+  Hrtec pub{a.middleware()};
+  Hrtec sub{c.middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("bab/data"), {}, nullptr).has_value());
+  int delivered = 0;
+  int missing = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("bab/data"),
+                            AttributeList{attr::QueueCapacity{16}},
+                            [&] {
+                              ++delivered;
+                              (void)sub.getEvent();
+                            },
+                            [&](const ExceptionInfo&) { ++missing; })
+                  .has_value());
+  auto* loop = tasks.make();
+  *loop = [&, loop] {
+    Event e;
+    e.content = {1};
+    (void)pub.publish(std::move(e));
+    scn.sim().schedule_after(10_ms, [loop] { (*loop)(); });
+  };
+  scn.sim().schedule_after(0_ns, [loop] { (*loop)(); });
+
+  // Phase 1 (50-100 ms): the babbler floods priority 0 from a HIGHER
+  // TxNode (9 > 1). Every arbitration still goes to the legitimate owner
+  // (lower identifier); each babble frame is at most the ΔT_wait blocking
+  // the slot already budgets — guarantees HOLD. Phase 2 (100-150 ms): the
+  // babbler uses the most dominant identifier in the system (TxNode 0,
+  // etag 0); nothing can out-arbitrate it and the reservation breaks.
+  auto* babble = tasks.make();
+  *babble = [&, babble] {
+    const TimePoint now = scn.sim().now();
+    if (now >= TimePoint::origin() + 50_ms) {
+      CanFrame f;
+      const bool dominant = now >= TimePoint::origin() + 100_ms;
+      f.id = encode_can_id({kHrtPriority,
+                            static_cast<NodeId>(dominant ? 0 : 9), 0});
+      f.dlc = 8;
+      while (babbler.controller().has_free_mailbox())
+        (void)babbler.controller().submit(f, TxMode::kAutoRetransmit);
+    }
+    scn.sim().schedule_after(50_us, [babble] { (*babble)(); });
+  };
+  scn.sim().schedule_after(0_ns, [babble] { (*babble)(); });
+
+  scn.run_for(150_ms);
+  EXPECT_EQ(delivered + missing, 15);
+  // Rounds 0..9 (incl. the higher-TxNode babbling phase): all delivered.
+  EXPECT_GE(delivered, 10);
+  // Rounds 10..14 (dominant-identifier babbler): guarantees break.
+  EXPECT_GE(missing, 3) << "a dominant-identifier babbling idiot is expected "
+                           "to break HRT — if this stops failing, the "
+                           "documentation claim in DESIGN.md must be updated";
+}
+
+}  // namespace
+}  // namespace rtec

@@ -1,0 +1,433 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/hrtec.hpp"
+#include "core/nrtec.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "util/task_pool.hpp"
+
+/// Edge cases and failure injection at the middleware API boundary.
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+Node::ClockParams perfect() {
+  Node::ClockParams p;
+  p.granularity = 1_ns;
+  return p;
+}
+
+struct EdgeFixture : ::testing::Test {
+  TaskPool tasks;
+  Scenario scn;
+  Node* n1 = nullptr;
+  Node* n2 = nullptr;
+
+  void SetUp() override {
+    n1 = &scn.add_node(1, perfect());
+    n2 = &scn.add_node(2, perfect());
+  }
+
+  std::size_t reserve(Etag etag, Duration lst, NodeId pub = 1,
+                      bool periodic = true) {
+    SlotSpec s;
+    s.lst_offset = lst;
+    s.etag = etag;
+    s.publisher = pub;
+    s.periodic = periodic;
+    const auto r = scn.calendar().reserve(s);
+    EXPECT_TRUE(r.has_value());
+    return *r;
+  }
+};
+
+// ----------------------------------------------------------- HRT edge cases
+
+TEST_F(EdgeFixture, ZeroLengthHrtEventDelivers) {
+  reserve(*scn.binding().bind(subject_of("edge/empty")), 1_ms);
+  Hrtec pub{n1->middleware()};
+  Hrtec sub{n2->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("edge/empty"), {}, nullptr).has_value());
+  int delivered = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("edge/empty"), {},
+                            [&] {
+                              const auto e = sub.getEvent();
+                              ASSERT_TRUE(e.has_value());
+                              EXPECT_TRUE(e->content.empty());
+                              ++delivered;
+                            },
+                            nullptr)
+                  .has_value());
+  ASSERT_TRUE(pub.publish(Event{}).has_value());
+  scn.run_for(2_ms);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(EdgeFixture, HighRateChannelUsesTwoSlotsPerRound) {
+  const Etag etag = *scn.binding().bind(subject_of("edge/fast"));
+  reserve(etag, 1_ms);
+  reserve(etag, 5_ms);  // same channel, same publisher, twice per round
+  Hrtec pub{n1->middleware()};
+  Hrtec sub{n2->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("edge/fast"), {}, nullptr).has_value());
+  std::vector<TimePoint> deliveries;
+  ASSERT_TRUE(sub.subscribe(subject_of("edge/fast"),
+                            AttributeList{attr::QueueCapacity{16}},
+                            [&] {
+                              (void)sub.getEvent();
+                              deliveries.push_back(n2->clock().now());
+                            },
+                            nullptr)
+                  .has_value());
+  // Publish before each slot instance's ready time (readies at ~0.84,
+  // ~4.84, ~10.84, ~14.84 ms).
+  for (const std::int64_t at_ms : {0, 4, 10, 14}) {
+    scn.sim().schedule_at(TimePoint::origin() + Duration::milliseconds(at_ms),
+                          [&] {
+                            Event e;
+                            e.content = {9};
+                            (void)pub.publish(std::move(e));
+                          });
+  }
+  scn.run_for(21_ms);
+  ASSERT_EQ(deliveries.size(), 4u);
+  // Each delivery lands exactly on the corresponding slot instance's
+  // deadline, alternating between the two slots of the channel.
+  const auto d0 = scn.calendar().instance_at_or_after(0, TimePoint::origin());
+  const auto d1 = scn.calendar().instance_at_or_after(1, TimePoint::origin());
+  EXPECT_EQ(deliveries[0].ns(), d0.deadline.ns());
+  EXPECT_EQ(deliveries[1].ns(), d1.deadline.ns());
+  EXPECT_EQ(deliveries[2].ns(), (d0.deadline + 10_ms).ns());
+  EXPECT_EQ(deliveries[3].ns(), (d1.deadline + 10_ms).ns());
+}
+
+TEST_F(EdgeFixture, ReannounceAfterCancelPublication) {
+  reserve(*scn.binding().bind(subject_of("edge/re")), 1_ms, 1,
+          /*periodic=*/false);
+  Hrtec pub{n1->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("edge/re"),
+                           AttributeList{attr::Sporadic{10_ms}}, nullptr)
+                  .has_value());
+  ASSERT_TRUE(pub.cancelPublication().has_value());
+  // The slot is free for a new announcement (e.g. after a component swap).
+  ASSERT_TRUE(pub.announce(subject_of("edge/re"),
+                           AttributeList{attr::Sporadic{10_ms}}, nullptr)
+                  .has_value());
+  Event e;
+  e.content = {1};
+  EXPECT_TRUE(pub.publish(std::move(e)).has_value());
+  scn.run_for(5_ms);
+  EXPECT_EQ(n1->middleware().hrt().counters().sent_ok, 1u);
+}
+
+TEST_F(EdgeFixture, CancelPublicationSilencesSlotTimers) {
+  reserve(*scn.binding().bind(subject_of("edge/quiet")), 1_ms);
+  Hrtec pub{n1->middleware()};
+  int exceptions = 0;
+  ASSERT_TRUE(pub.announce(subject_of("edge/quiet"), {},
+                           [&](const ExceptionInfo&) { ++exceptions; })
+                  .has_value());
+  ASSERT_TRUE(pub.cancelPublication().has_value());
+  scn.run_for(50_ms);  // five instances pass; no kPublishMissed storm
+  EXPECT_EQ(exceptions, 0);
+}
+
+TEST_F(EdgeFixture, SubscriberCrashMidStreamRecovers) {
+  reserve(*scn.binding().bind(subject_of("edge/crash")), 1_ms);
+  Hrtec pub{n1->middleware()};
+  Hrtec sub{n2->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("edge/crash"), {}, nullptr).has_value());
+  int delivered = 0;
+  int missing = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("edge/crash"),
+                            AttributeList{attr::QueueCapacity{16}},
+                            [&] {
+                              ++delivered;
+                              (void)sub.getEvent();
+                            },
+                            [&](const ExceptionInfo&) { ++missing; })
+                  .has_value());
+  auto* loop = tasks.make();
+  *loop = [&, loop] {
+    Event e;
+    e.content = {1};
+    (void)pub.publish(std::move(e));
+    scn.sim().schedule_after(10_ms, [loop] { (*loop)(); });
+  };
+  scn.sim().schedule_after(0_ns, [loop] { (*loop)(); });
+
+  scn.sim().schedule_at(TimePoint::origin() + 25_ms,
+                        [&] { n2->controller().set_online(false); });
+  scn.sim().schedule_at(TimePoint::origin() + 55_ms,
+                        [&] { n2->controller().set_online(true); });
+  scn.run_for(100_ms);
+  // Rounds 0-2 delivered (instances at ~1,11,21ms... deadline ~1.16ms):
+  // offline 25-55 ms kills instances 3,4,5 (deadlines ~31,41,51 ms).
+  EXPECT_GE(delivered, 6);
+  EXPECT_GE(missing, 2);
+  EXPECT_EQ(delivered + missing, 10);
+}
+
+TEST_F(EdgeFixture, SubRatePeriodicChannelDetectsExactlyItsInstances) {
+  // A 20 ms stream on a 10 ms round: sub-rate slot (m=2), periodic with
+  // missing-message detection on exactly every second round.
+  const Etag etag = *scn.binding().bind(subject_of("edge/subrate"));
+  SlotSpec s;
+  s.lst_offset = 1_ms;
+  s.etag = etag;
+  s.publisher = 1;
+  s.period_rounds = 2;
+  ASSERT_TRUE(scn.calendar().reserve(s).has_value());
+
+  Hrtec pub{n1->middleware()};
+  Hrtec sub{n2->middleware()};
+  int pub_missed = 0;
+  ASSERT_TRUE(pub.announce(subject_of("edge/subrate"),
+                           AttributeList{attr::Periodic{20_ms}},
+                           [&](const ExceptionInfo& e) {
+                             if (e.error == ChannelError::kPublishMissed)
+                               ++pub_missed;
+                           })
+                  .has_value());
+  int delivered = 0;
+  int missing = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("edge/subrate"),
+                            AttributeList{attr::QueueCapacity{16}},
+                            [&] {
+                              ++delivered;
+                              (void)sub.getEvent();
+                            },
+                            [&](const ExceptionInfo&) { ++missing; })
+                  .has_value());
+
+  // Publish every 20 ms for the first 3 instances, then stop.
+  for (int i = 0; i < 3; ++i)
+    scn.sim().schedule_at(TimePoint::origin() + 20_ms * i, [&] {
+      Event e;
+      e.content = {1};
+      (void)pub.publish(std::move(e));
+    });
+  scn.run_for(100_ms);
+
+  // Instances at rounds 0,2,4,6,8 (deadlines ~1.16, 21.16, 41.16, 61.16,
+  // 81.16 ms): 3 delivered, 2 missing; the odd rounds are silent (no
+  // spurious missing-message or publish-missed in between).
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(missing, 2);
+  EXPECT_EQ(pub_missed, 2);
+}
+
+// ----------------------------------------------------------- SRT edge cases
+
+TEST_F(EdgeFixture, SrtPublisherBusOffRaisesAndRecovers) {
+  Srtec pub{n1->middleware()};
+  std::vector<ChannelError> errors;
+  ASSERT_TRUE(pub.announce(subject_of("edge/srt"), {},
+                           [&](const ExceptionInfo& e) {
+                             errors.push_back(e.error);
+                           })
+                  .has_value());
+  Srtec sub{n2->middleware()};
+  int delivered = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("edge/srt"), {},
+                            [&] {
+                              ++delivered;
+                              (void)sub.getEvent();
+                            },
+                            nullptr)
+                  .has_value());
+
+  // Corrupt everything until 5 ms: the publisher's controller goes bus-off
+  // (TEC 256 after 32 attempts ~ 3.8 ms), then auto-recovers ~1.4 ms later.
+  scn.set_fault_model(std::make_unique<BurstFaults>(
+      TimePoint::origin(), TimePoint::origin() + 5_ms));
+
+  Event e;
+  e.content = {1};
+  ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+  scn.run_for(20_ms);
+  // The in-flight message died with the bus-off (reported as kBusOff).
+  ASSERT_GE(errors.size(), 1u);
+  EXPECT_EQ(errors[0], ChannelError::kBusOff);
+  // After recovery the channel works again.
+  Event e2;
+  e2.content = {2};
+  ASSERT_TRUE(pub.publish(std::move(e2)).has_value());
+  scn.run_for(5_ms);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(EdgeFixture, ManyQueuedSrtMessagesAllDrain) {
+  Srtec pub{n1->middleware()};
+  Srtec sub{n2->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("edge/burst"),
+                           AttributeList{attr::Deadline{100_ms},
+                                         attr::Expiration{500_ms}},
+                           nullptr)
+                  .has_value());
+  int delivered = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("edge/burst"),
+                            AttributeList{attr::QueueCapacity{128}},
+                            [&] {
+                              ++delivered;
+                              (void)sub.getEvent();
+                            },
+                            nullptr)
+                  .has_value());
+  for (int i = 0; i < 100; ++i) {
+    Event e;
+    e.content = {static_cast<std::uint8_t>(i)};
+    ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+  }
+  EXPECT_EQ(n1->middleware().srt().queue_length(), 100u);
+  scn.run_for(50_ms);
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(n1->middleware().srt().queue_length(), 0u);
+}
+
+TEST_F(EdgeFixture, SrtCancelPublicationDrainsGracefully) {
+  Srtec pub{n1->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("edge/cx"), {}, nullptr).has_value());
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.content = {1};
+    ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+  }
+  ASSERT_TRUE(pub.cancelPublication().has_value());
+  // Queued messages still drain (accepted while announced); no crash, and
+  // re-publishing without announce fails.
+  scn.run_for(10_ms);
+  Event e;
+  e.content = {1};
+  EXPECT_EQ(pub.publish(std::move(e)).error(), ChannelError::kNotAnnounced);
+  EXPECT_EQ(n1->middleware().srt().counters().sent, 5u);
+}
+
+// ----------------------------------------------------------- NRT edge cases
+
+TEST_F(EdgeFixture, EmptyNrtEventDelivers) {
+  Nrtec pub{n1->middleware()};
+  Nrtec sub{n2->middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("edge/nrt"), {}, nullptr).has_value());
+  int delivered = 0;
+  ASSERT_TRUE(sub.subscribe(subject_of("edge/nrt"), {},
+                            [&] {
+                              const auto e = sub.getEvent();
+                              ASSERT_TRUE(e.has_value());
+                              EXPECT_TRUE(e->content.empty());
+                              ++delivered;
+                            },
+                            nullptr)
+                  .has_value());
+  ASSERT_TRUE(pub.publish(Event{}).has_value());
+  scn.run_for(2_ms);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(EdgeFixture, MixedFragmentedAndPlainChannelsCoexist) {
+  Nrtec bulk_pub{n1->middleware()};
+  Nrtec small_pub{n1->middleware()};
+  ASSERT_TRUE(bulk_pub.announce(subject_of("edge/bulk"),
+                                AttributeList{attr::Fragmentation{true},
+                                              attr::FixedPriority{255}},
+                                nullptr)
+                  .has_value());
+  ASSERT_TRUE(small_pub.announce(subject_of("edge/small"),
+                                 AttributeList{attr::FixedPriority{252}},
+                                 nullptr)
+                  .has_value());
+  Nrtec bulk_sub{n2->middleware()};
+  Nrtec small_sub{n2->middleware()};
+  int bulks = 0;
+  int smalls = 0;
+  ASSERT_TRUE(bulk_sub.subscribe(subject_of("edge/bulk"),
+                                 AttributeList{attr::Fragmentation{true}},
+                                 [&] {
+                                   ++bulks;
+                                   (void)bulk_sub.getEvent();
+                                 },
+                                 nullptr)
+                  .has_value());
+  ASSERT_TRUE(small_sub.subscribe(subject_of("edge/small"), {},
+                                  [&] {
+                                    ++smalls;
+                                    (void)small_sub.getEvent();
+                                  },
+                                  nullptr)
+                  .has_value());
+  Event big;
+  big.content.assign(300, 0x42);
+  ASSERT_TRUE(bulk_pub.publish(std::move(big)).has_value());
+  // Interleave small urgent messages during the bulk transfer.
+  for (int i = 0; i < 5; ++i) {
+    scn.sim().schedule_at(TimePoint::origin() + 1_ms * i, [&] {
+      Event e;
+      e.content = {7};
+      (void)small_pub.publish(std::move(e));
+    });
+  }
+  scn.run_for(20_ms);
+  EXPECT_EQ(bulks, 1);
+  EXPECT_EQ(smalls, 5);
+}
+
+// --------------------------------------------------------------- API misuse
+
+TEST_F(EdgeFixture, GetEventWithoutSubscribeIsEmpty) {
+  Hrtec h{n1->middleware()};
+  Srtec s{n1->middleware()};
+  Nrtec n{n1->middleware()};
+  EXPECT_EQ(h.getEvent(), std::nullopt);
+  EXPECT_EQ(s.getEvent(), std::nullopt);
+  EXPECT_EQ(n.getEvent(), std::nullopt);
+}
+
+TEST_F(EdgeFixture, DoubleAnnounceRejectedEverywhere) {
+  reserve(*scn.binding().bind(subject_of("edge/dup")), 1_ms);
+  Hrtec h{n1->middleware()};
+  ASSERT_TRUE(h.announce(subject_of("edge/dup"), {}, nullptr).has_value());
+  EXPECT_EQ(h.announce(subject_of("edge/dup"), {}, nullptr).error(),
+            ChannelError::kAlreadyAnnounced);
+  Srtec s{n1->middleware()};
+  ASSERT_TRUE(s.announce(subject_of("edge/s"), {}, nullptr).has_value());
+  EXPECT_EQ(s.announce(subject_of("edge/s"), {}, nullptr).error(),
+            ChannelError::kAlreadyAnnounced);
+  Nrtec n{n1->middleware()};
+  ASSERT_TRUE(n.announce(subject_of("edge/n"), {}, nullptr).has_value());
+  EXPECT_EQ(n.announce(subject_of("edge/n"), {}, nullptr).error(),
+            ChannelError::kAlreadyAnnounced);
+}
+
+TEST_F(EdgeFixture, ChannelDestructionReleasesResources) {
+  const Etag etag = *scn.binding().bind(subject_of("edge/raii"));
+  reserve(etag, 1_ms, 1, /*periodic=*/false);
+  {
+    Hrtec pub{n1->middleware()};
+    ASSERT_TRUE(pub.announce(subject_of("edge/raii"),
+                             AttributeList{attr::Sporadic{10_ms}}, nullptr)
+                    .has_value());
+  }  // destructor cancels the publication
+  Hrtec pub2{n1->middleware()};
+  EXPECT_TRUE(pub2.announce(subject_of("edge/raii"),
+                            AttributeList{attr::Sporadic{10_ms}}, nullptr)
+                  .has_value());
+}
+
+TEST_F(EdgeFixture, TwoChannelObjectsCannotShareOnePublication) {
+  reserve(*scn.binding().bind(subject_of("edge/one")), 1_ms);
+  Hrtec a{n1->middleware()};
+  Hrtec b{n1->middleware()};
+  ASSERT_TRUE(a.announce(subject_of("edge/one"), {}, nullptr).has_value());
+  EXPECT_EQ(b.announce(subject_of("edge/one"), {}, nullptr).error(),
+            ChannelError::kAlreadyAnnounced);
+}
+
+}  // namespace
+}  // namespace rtec

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/hrtec.hpp"
+#include "core/scenario.hpp"
+#include "sched/planner.hpp"
+#include "util/random.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+HrtStreamRequest req(Etag etag, NodeId node, Duration period, int dlc = 8,
+                     int k = 0) {
+  HrtStreamRequest r;
+  r.etag = etag;
+  r.publisher = node;
+  r.dlc = dlc;
+  r.fault.omission_degree = k;
+  r.period = period;
+  return r;
+}
+
+TEST(Planner, PlansSimpleHarmonicSet) {
+  const std::vector<HrtStreamRequest> reqs{
+      req(10, 1, 10_ms, 8, 1),
+      req(11, 2, 10_ms, 4, 0),
+      req(12, 3, 20_ms, 2, 2),
+  };
+  const auto plan = plan_calendar(reqs, Calendar::Config{});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->calendar.config().round_length.ns(), (10_ms).ns());
+  EXPECT_EQ(plan->calendar.size(), 3u);
+  EXPECT_EQ(plan->slot_of_request.size(), 3u);
+  // The 20 ms stream becomes a sub-rate slot: still periodic (with full
+  // missing-message detection), with instances every second round.
+  const SlotSpec& slow = plan->calendar.slot(plan->slot_of_request[2]);
+  EXPECT_TRUE(slow.periodic);
+  EXPECT_EQ(slow.period_rounds, 2);
+  EXPECT_EQ(slow.etag, 12);
+  EXPECT_GT(plan->reserved_fraction, 0.0);
+  EXPECT_LT(plan->reserved_fraction, 1.0);
+}
+
+TEST(Planner, IncludesSyncSlotWhenRequested) {
+  const std::vector<HrtStreamRequest> reqs{req(10, 1, 10_ms)};
+  const auto plan = plan_calendar(reqs, Calendar::Config{}, /*sync_master=*/7);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->calendar.size(), 2u);
+  bool found_sync = false;
+  for (std::size_t i = 0; i < plan->calendar.size(); ++i) {
+    if (plan->calendar.slot(i).etag == kSyncRefEtag) {
+      found_sync = true;
+      EXPECT_EQ(plan->calendar.slot(i).publisher, 7);
+    }
+  }
+  EXPECT_TRUE(found_sync);
+}
+
+TEST(Planner, RejectsEmptyAndNonHarmonic) {
+  EXPECT_EQ(plan_calendar({}, Calendar::Config{}).error().kind,
+            PlanError::Kind::kNoStreams);
+  const std::vector<HrtStreamRequest> bad{req(10, 1, 10_ms), req(11, 2, 15_ms)};
+  EXPECT_EQ(plan_calendar(bad, Calendar::Config{}).error().kind,
+            PlanError::Kind::kNonHarmonicPeriods);
+}
+
+TEST(Planner, RejectsOverSubscription) {
+  // 20 worst-case k=3 streams at 5 ms: far beyond one round.
+  std::vector<HrtStreamRequest> reqs;
+  for (int i = 0; i < 20; ++i)
+    reqs.push_back(req(static_cast<Etag>(10 + i), static_cast<NodeId>(1 + i),
+                       5_ms, 8, 3));
+  const auto plan = plan_calendar(reqs, Calendar::Config{});
+  ASSERT_FALSE(plan.has_value());
+  EXPECT_EQ(plan.error().kind, PlanError::Kind::kOverSubscribed);
+  EXPECT_FALSE(plan.error().detail.empty());
+}
+
+TEST(Planner, PacksUpToNearCapacity) {
+  // Keep adding identical streams until the planner refuses; the accepted
+  // count must match the analytic capacity.
+  const Calendar::Config cfg;  // 10 ms round default irrelevant: planner picks
+  const Duration window =
+      max_blocking_time(cfg.bus) + hrt_wctt(8, {0}, cfg.bus) + cfg.gap;
+  const auto capacity = static_cast<std::size_t>((10_ms) / window);
+  std::vector<HrtStreamRequest> reqs;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < capacity + 3; ++i) {
+    reqs.push_back(req(static_cast<Etag>(10 + i),
+                       static_cast<NodeId>(1 + (i % 100)), 10_ms, 8, 0));
+    if (plan_calendar(reqs, Calendar::Config{}).has_value()) accepted = i + 1;
+  }
+  EXPECT_EQ(accepted, capacity);
+}
+
+TEST(Planner, RandomHarmonicSetsAlwaysAdmissible) {
+  // Whatever the planner returns must pass the calendar's own admission —
+  // by construction — and every request must have a usable slot.
+  Rng rng{2718};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<HrtStreamRequest> reqs;
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < n; ++i) {
+      // First stream pins the base period so the set stays harmonic.
+      const std::int64_t mult = i == 0 ? 1 : rng.uniform_int(1, 4);
+      reqs.push_back(req(static_cast<Etag>(10 + i), static_cast<NodeId>(1 + i),
+                         10_ms * mult, static_cast<int>(rng.uniform_int(0, 8)),
+                         static_cast<int>(rng.uniform_int(0, 2))));
+    }
+    const auto plan = plan_calendar(reqs, Calendar::Config{});
+    if (!plan) {
+      EXPECT_EQ(plan.error().kind, PlanError::Kind::kOverSubscribed);
+      continue;
+    }
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const SlotSpec& s = plan->calendar.slot(plan->slot_of_request[i]);
+      EXPECT_EQ(s.etag, reqs[i].etag);
+      EXPECT_EQ(s.publisher, reqs[i].publisher);
+      EXPECT_EQ(s.dlc, reqs[i].dlc);
+    }
+  }
+}
+
+TEST(Planner, PlannedCalendarRunsEndToEnd) {
+  // Full-circle: plan a calendar, drop it into a scenario, publish on it.
+  const std::vector<HrtStreamRequest> reqs{req(0, 0, 10_ms, 4, 1)};
+  // Plan with a placeholder etag; bind the real subject afterwards.
+  Scenario::Config cfg;
+  Scenario scn{cfg};
+  const Subject subject = subject_of("planned/stream");
+  const Etag etag = *scn.binding().bind(subject);
+
+  std::vector<HrtStreamRequest> reqs2{req(etag, 1, 10_ms, 4, 1)};
+  const auto plan = plan_calendar(reqs2, Calendar::Config{}, /*sync_master=*/3);
+  ASSERT_TRUE(plan.has_value());
+
+  // Mirror the planned reservations into the scenario's calendar.
+  for (std::size_t i = 0; i < plan->calendar.size(); ++i) {
+    if (plan->calendar.slot(i).etag == kSyncRefEtag) continue;  // sync below
+    ASSERT_TRUE(scn.calendar().reserve(plan->calendar.slot(i)).has_value());
+  }
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+  Node& pub_node = scn.add_node(1, perfect);
+  Node& sub_node = scn.add_node(2, perfect);
+
+  Hrtec pub{pub_node.middleware()};
+  Hrtec sub{sub_node.middleware()};
+  ASSERT_TRUE(pub.announce(subject, {}, nullptr).has_value());
+  int delivered = 0;
+  ASSERT_TRUE(
+      sub.subscribe(subject, {}, [&] { ++delivered; }, nullptr).has_value());
+  Event e;
+  e.content = {1, 2};
+  ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+  scn.run_for(15_ms);
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace rtec

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/hrtec.hpp"
+#include "core/nrtec.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "sched/planner.hpp"
+#include "time/periodic.hpp"
+#include "trace/metrics.hpp"
+#include "util/random.hpp"
+#include "util/task_pool.hpp"
+
+/// Scale soak: a realistically sized CAN segment (the paper: "the number
+/// of nodes connected to a CAN-Bus is usually in the range of 32 to 64")
+/// with a planner-synthesized calendar, running for several simulated
+/// seconds under faults with every mechanism active. The assertions are
+/// system invariants, not example-sized expectations.
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+TEST(Scale, ThirtyTwoNodesFiveSecondsAllInvariantsHold) {
+  TaskPool tasks;
+  constexpr int kHrtStreams = 8;
+  constexpr int kSrtStreams = 8;
+  constexpr Duration kRun = Duration::seconds(5);
+
+  // --- plan the calendar offline -------------------------------------
+  std::vector<HrtStreamRequest> reqs;
+  for (int i = 0; i < kHrtStreams; ++i) {
+    HrtStreamRequest r;
+    r.etag = static_cast<Etag>(kFirstApplicationEtag + i);
+    r.publisher = static_cast<NodeId>(1 + i);
+    r.dlc = 8;
+    r.fault.omission_degree = 1;
+    r.period = 20_ms * (i % 2 == 0 ? 1 : 2);  // 20/40 ms harmonic mix
+    reqs.push_back(r);
+  }
+  Calendar::Config cal_cfg;
+  const auto plan = plan_calendar(reqs, cal_cfg, /*sync_master=*/32);
+  ASSERT_TRUE(plan.has_value());
+
+  // --- build the network ----------------------------------------------
+  Scenario::Config cfg;
+  cfg.calendar.round_length = plan->calendar.config().round_length;
+  Scenario scn{cfg};
+  Rng rng{9001};
+  std::vector<Node*> nodes;
+  for (NodeId id = 1; id <= 32; ++id) {
+    Node::ClockParams p;
+    p.initial_offset = Duration::microseconds(rng.uniform_int(-30, 30));
+    p.drift_ppb = rng.uniform_int(-100'000, 100'000);
+    p.granularity = 1_us;
+    nodes.push_back(&scn.add_node(id, p));
+  }
+  // Mirror the planned slots (the sync slot is re-created by
+  // enable_clock_sync below).
+  Duration sync_lst;
+  for (std::size_t i = 0; i < plan->calendar.size(); ++i) {
+    const SlotSpec& s = plan->calendar.slot(i);
+    if (s.etag == kSyncRefEtag) {
+      sync_lst = s.lst_offset;
+      continue;
+    }
+    ASSERT_TRUE(scn.calendar().reserve(s).has_value());
+  }
+  ASSERT_TRUE(scn.enable_clock_sync(32, sync_lst).has_value());
+  scn.set_fault_model(std::make_unique<RandomOmissionFaults>(0.005, 77));
+  scn.run_for(plan->calendar.config().round_length * 2);  // sync warm-up
+
+  // --- HRT streams ------------------------------------------------------
+  struct HrtStream {
+    std::unique_ptr<Hrtec> pub;
+    std::unique_ptr<Hrtec> sub;
+    std::unique_ptr<PeriodicLocalTask> task;
+    int delivered = 0;
+    int missing = 0;
+    int pub_exc = 0;
+  };
+  std::vector<std::unique_ptr<HrtStream>> hrt;
+  for (int i = 0; i < kHrtStreams; ++i) {
+    auto s = std::make_unique<HrtStream>();
+    const std::string name = "scale/hrt" + std::to_string(i);
+    Node* pub_node = nodes[static_cast<std::size_t>(i)];
+    Node* sub_node = nodes[static_cast<std::size_t>(16 + i)];
+    // Bind the planned etag to the subject name explicitly.
+    ASSERT_EQ(*scn.binding().bind(subject_of(name)),
+              kFirstApplicationEtag + i);
+    s->pub = std::make_unique<Hrtec>(pub_node->middleware());
+    s->sub = std::make_unique<Hrtec>(sub_node->middleware());
+    const bool fast = i % 2 == 0;
+    AttributeList attrs;
+    attrs.add(attr::Periodic{fast ? 20_ms : 40_ms});  // 40 ms: sub-rate slot
+    HrtStream* sp = s.get();
+    ASSERT_TRUE(s->pub->announce(subject_of(name), attrs,
+                                 [sp](const ExceptionInfo&) { ++sp->pub_exc; })
+                    .has_value());
+    ASSERT_TRUE(s->sub->subscribe(subject_of(name),
+                                  AttributeList{attr::QueueCapacity{16}},
+                                  [sp] {
+                                    ++sp->delivered;
+                                    (void)sp->sub->getEvent();
+                                  },
+                                  [sp](const ExceptionInfo&) { ++sp->missing; })
+                    .has_value());
+    s->task = std::make_unique<PeriodicLocalTask>(
+        pub_node->clock(), fast ? 20_ms : 40_ms, [sp] {
+          Event e;
+          e.content = {1, 2, 3, 4, 5, 6, 7, 8};
+          (void)sp->pub->publish(std::move(e));
+        });
+    s->task->start();
+    hrt.push_back(std::move(s));
+  }
+
+  // --- SRT streams -------------------------------------------------------
+  struct SrtStream {
+    std::unique_ptr<Srtec> pub;
+    std::unique_ptr<Srtec> sub;
+    int delivered = 0;
+    int misses = 0;
+  };
+  std::vector<std::unique_ptr<SrtStream>> srt;
+  for (int i = 0; i < kSrtStreams; ++i) {
+    auto s = std::make_unique<SrtStream>();
+    const std::string name = "scale/srt" + std::to_string(i);
+    s->pub = std::make_unique<Srtec>(
+        nodes[static_cast<std::size_t>(8 + i)]->middleware());
+    s->sub = std::make_unique<Srtec>(
+        nodes[static_cast<std::size_t>(24 + i)]->middleware());
+    SrtStream* sp = s.get();
+    ASSERT_TRUE(s->pub->announce(subject_of(name),
+                                 AttributeList{attr::Deadline{15_ms},
+                                               attr::Expiration{40_ms}},
+                                 [sp](const ExceptionInfo& e) {
+                                   if (e.error == ChannelError::kDeadlineMissed)
+                                     ++sp->misses;
+                                 })
+                    .has_value());
+    ASSERT_TRUE(s->sub->subscribe(subject_of(name),
+                                  AttributeList{attr::QueueCapacity{32}},
+                                  [sp] {
+                                    ++sp->delivered;
+                                    (void)sp->sub->getEvent();
+                                  },
+                                  nullptr)
+                    .has_value());
+    // Poisson publisher, mean 8 ms.
+    auto* loop = tasks.make();
+    auto* rng_ptr = &rng;
+    Scenario* sc = &scn;
+    *loop = [sp, rng_ptr, sc, loop] {
+      Event e;
+      e.content = {0xAB};
+      (void)sp->pub->publish(std::move(e));
+      sc->sim().schedule_after(
+          Duration::nanoseconds(
+              static_cast<std::int64_t>(rng_ptr->exponential(8e6))),
+          [loop] { (*loop)(); });
+    };
+    scn.sim().schedule_after(Duration::microseconds(rng.uniform_int(0, 5000)),
+                             [loop] { (*loop)(); });
+    srt.push_back(std::move(s));
+  }
+
+  // --- NRT bulk churn -----------------------------------------------------
+  Nrtec bulk_pub{nodes[15]->middleware()};
+  Nrtec bulk_sub{nodes[31]->middleware()};
+  const AttributeList frag{attr::Fragmentation{true}};
+  ASSERT_TRUE(
+      bulk_pub.announce(subject_of("scale/bulk"), frag, nullptr).has_value());
+  int blobs = 0;
+  ASSERT_TRUE(bulk_sub.subscribe(subject_of("scale/bulk"), frag,
+                                 [&] {
+                                   ++blobs;
+                                   (void)bulk_sub.getEvent();
+                                 },
+                                 nullptr)
+                  .has_value());
+  {
+    auto* feed = tasks.make();
+    Nrtec* bp = &bulk_pub;
+    Node* bulk_node = nodes[15];
+    Scenario* sc = &scn;
+    *feed = [bp, bulk_node, sc, feed] {
+      if (bulk_node->middleware().nrt().backlog_frames() < 4) {
+        Event blob;
+        blob.content.assign(1024, 0x77);
+        (void)bp->publish(std::move(blob));
+      }
+      sc->sim().schedule_after(10_ms, [feed] { (*feed)(); });
+    };
+    scn.sim().schedule_after(Duration::zero(), [feed] { (*feed)(); });
+  }
+
+  // --- run -----------------------------------------------------------------
+  ClassUtilization util{scn.bus()};
+  scn.run_for(kRun);
+
+  // --- invariants ------------------------------------------------------------
+  // 1. Clock precision stayed inside the ΔG_min budget.
+  EXPECT_LE(scn.clock_precision().ns(), (40_us).ns());
+  // 2. Every HRT stream: no missing instances, no publisher exceptions
+  //    (faults at 0.5% are far inside the k=1 assumption), and the right
+  //    delivery count for its rate.
+  for (int i = 0; i < kHrtStreams; ++i) {
+    const auto& s = *hrt[static_cast<std::size_t>(i)];
+    EXPECT_EQ(s.missing, 0) << "stream " << i;
+    EXPECT_EQ(s.pub_exc, 0) << "stream " << i;
+    const int expected = static_cast<int>(kRun / (i % 2 == 0 ? 20_ms : 40_ms));
+    EXPECT_GE(s.delivered, expected - 2) << "stream " << i;
+  }
+  // 3. SRT: all messages delivered, essentially no deadline misses at this
+  //    load.
+  for (int i = 0; i < kSrtStreams; ++i) {
+    const auto& s = *srt[static_cast<std::size_t>(i)];
+    EXPECT_GT(s.delivered, 400) << "stream " << i;
+    EXPECT_LE(s.misses, s.delivered / 100) << "stream " << i;
+  }
+  // 4. NRT made progress underneath everything.
+  EXPECT_GT(blobs, 100);
+  // 5. All three classes shared the bus.
+  EXPECT_GT(util.fraction(TrafficClass::kHrt), 0.005);
+  EXPECT_GT(util.fraction(TrafficClass::kSrt), 0.05);
+  EXPECT_GT(util.fraction(TrafficClass::kNrt), 0.05);
+}
+
+}  // namespace
+}  // namespace rtec

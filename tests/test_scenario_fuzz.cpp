@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hrtec.hpp"
+#include "core/nrtec.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "sched/planner.hpp"
+#include "time/periodic.hpp"
+#include "util/random.hpp"
+#include "util/task_pool.hpp"
+
+/// Scenario fuzzing: randomly generated networks (topology, calendar,
+/// traffic mix, clock quality, fault rate) run for one simulated second;
+/// only *universal* invariants are asserted — the properties the protocol
+/// guarantees regardless of configuration:
+///   I1  every periodic HRT instance is delivered or reported missing
+///       (never silently lost), and with faults within the provisioned
+///       omission degree, never missing at p=0;
+///   I2  deliveries of one HRT stream are exactly one effective period
+///       apart on the subscriber clock (zero middleware jitter);
+///   I3  the simulation is deterministic and crash-free.
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+class ScenarioFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScenarioFuzz, RandomScenarioKeepsUniversalInvariants) {
+  Rng rng{GetParam()};
+  TaskPool tasks;
+
+  const int hrt_streams = static_cast<int>(rng.uniform_int(1, 4));
+  const int srt_streams = static_cast<int>(rng.uniform_int(0, 4));
+  const bool with_faults = rng.bernoulli(0.5);
+  const double p = with_faults ? 0.02 : 0.0;
+  const Duration base_period =
+      Duration::milliseconds(rng.uniform_int(10, 25));
+
+  // Plan the calendar for the HRT streams (k=2 so p=2% is deeply inside
+  // the assumption: P(3 consecutive losses) = 8e-6 per instance).
+  std::vector<HrtStreamRequest> reqs;
+  for (int i = 0; i < hrt_streams; ++i) {
+    HrtStreamRequest r;
+    r.etag = static_cast<Etag>(kFirstApplicationEtag + i);
+    r.publisher = static_cast<NodeId>(1 + i);
+    r.dlc = static_cast<int>(rng.uniform_int(1, 8));
+    r.fault.omission_degree = 2;
+    r.period = base_period * rng.uniform_int(1, 2);
+    reqs.push_back(r);
+  }
+  const auto plan = plan_calendar(reqs, Calendar::Config{}, /*sync master*/ 30);
+  ASSERT_TRUE(plan.has_value());
+
+  Scenario::Config cfg;
+  cfg.calendar.round_length = plan->calendar.config().round_length;
+  Scenario scn{cfg};
+  std::vector<Node*> nodes;
+  for (NodeId id = 1; id <= 30; ++id) {
+    Node::ClockParams cp;
+    cp.initial_offset = Duration::microseconds(rng.uniform_int(-20, 20));
+    cp.drift_ppb = rng.uniform_int(-100'000, 100'000);
+    cp.granularity = 1_us;
+    nodes.push_back(&scn.add_node(id, cp));
+  }
+  Duration sync_lst;
+  for (std::size_t i = 0; i < plan->calendar.size(); ++i) {
+    const SlotSpec& s = plan->calendar.slot(i);
+    if (s.etag == kSyncRefEtag) {
+      sync_lst = s.lst_offset;
+      continue;
+    }
+    ASSERT_TRUE(scn.calendar().reserve(s).has_value());
+  }
+  ASSERT_TRUE(scn.enable_clock_sync(30, sync_lst).has_value());
+  if (with_faults)
+    scn.set_fault_model(std::make_unique<RandomOmissionFaults>(p, GetParam()));
+  scn.run_for(cfg.calendar.round_length * 2);
+
+  struct Stream {
+    std::unique_ptr<Hrtec> pub;
+    std::unique_ptr<Hrtec> sub;
+    std::unique_ptr<PeriodicLocalTask> task;
+    std::vector<TimePoint> deliveries;
+    int missing = 0;
+    Duration period;
+  };
+  std::vector<std::unique_ptr<Stream>> streams;
+  for (int i = 0; i < hrt_streams; ++i) {
+    auto st = std::make_unique<Stream>();
+    const std::string name = "fuzz/h" + std::to_string(i);
+    ASSERT_EQ(*scn.binding().bind(subject_of(name)),
+              kFirstApplicationEtag + i);
+    Node* pub_node = nodes[static_cast<std::size_t>(i)];
+    Node* sub_node = nodes[static_cast<std::size_t>(10 + i)];
+    st->pub = std::make_unique<Hrtec>(pub_node->middleware());
+    st->sub = std::make_unique<Hrtec>(sub_node->middleware());
+    st->period = reqs[static_cast<std::size_t>(i)].period;
+    ASSERT_TRUE(st->pub->announce(subject_of(name),
+                                  AttributeList{attr::Periodic{st->period}},
+                                  nullptr)
+                    .has_value());
+    Stream* sp = st.get();
+    Node* sn = sub_node;
+    ASSERT_TRUE(st->sub->subscribe(subject_of(name),
+                                   AttributeList{attr::QueueCapacity{8}},
+                                   [sp, sn] {
+                                     (void)sp->sub->getEvent();
+                                     sp->deliveries.push_back(sn->clock().now());
+                                   },
+                                   [sp](const ExceptionInfo&) { ++sp->missing; })
+                    .has_value());
+    st->task = std::make_unique<PeriodicLocalTask>(
+        pub_node->clock(), st->period, [sp] {
+          Event e;
+          e.content = {0xF0};
+          (void)sp->pub->publish(std::move(e));
+        });
+    st->task->start();
+    streams.push_back(std::move(st));
+  }
+
+  // Random SRT + NRT background.
+  std::vector<std::unique_ptr<Srtec>> srt_pubs;
+  for (int i = 0; i < srt_streams; ++i) {
+    srt_pubs.push_back(std::make_unique<Srtec>(
+        nodes[static_cast<std::size_t>(20 + i)]->middleware()));
+    (void)srt_pubs.back()->announce(subject_of("fuzz/s" + std::to_string(i)),
+                                    AttributeList{attr::Deadline{20_ms}},
+                                    nullptr);
+    Srtec* pub = srt_pubs.back().get();
+    auto* loop = tasks.make();
+    Scenario* sc = &scn;
+    auto* r = &rng;
+    *loop = [pub, sc, r, loop] {
+      Event e;
+      e.content.assign(static_cast<std::size_t>(r->uniform_int(0, 8)), 0x5A);
+      (void)pub->publish(std::move(e));
+      sc->sim().schedule_after(
+          Duration::microseconds(r->uniform_int(500, 4000)),
+          [loop] { (*loop)(); });
+    };
+    scn.sim().schedule_after(Duration::microseconds(rng.uniform_int(0, 3000)),
+                             [loop] { (*loop)(); });
+  }
+
+  const Duration run = Duration::seconds(1);
+  const TimePoint start = scn.sim().now();
+  scn.run_for(run);
+
+  for (int i = 0; i < hrt_streams; ++i) {
+    const Stream& st = *streams[static_cast<std::size_t>(i)];
+    // I1: conservation — every instance accounted for.
+    const auto expected = static_cast<int>(run / st.period);
+    const int accounted = static_cast<int>(st.deliveries.size()) + st.missing;
+    EXPECT_GE(accounted, expected - 2) << "stream " << i;
+    EXPECT_LE(accounted, expected + 2) << "stream " << i;
+    if (!with_faults) {
+      EXPECT_EQ(st.missing, 0) << "stream " << i << " (fault-free run)";
+    }
+    // I2: zero middleware jitter — consecutive deliveries exactly one
+    // effective period apart on the subscriber's clock (clock-tick slack;
+    // a missing instance shows as an integer multiple of the period).
+    for (std::size_t d = 1; d < st.deliveries.size(); ++d) {
+      const std::int64_t gap = (st.deliveries[d] - st.deliveries[d - 1]).ns();
+      const std::int64_t period = st.period.ns();
+      const std::int64_t mod = gap % period;
+      const std::int64_t err = std::min(mod, period - mod);
+      EXPECT_LE(err, 20'000) << "stream " << i << " delivery " << d;
+    }
+  }
+  EXPECT_GT(scn.sim().now().ns(), start.ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace rtec

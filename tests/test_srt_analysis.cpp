@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hrtec.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "sched/srt_analysis.hpp"
+#include "time/periodic.hpp"
+#include "util/random.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+SrtStreamSpec stream(int id, Duration period, Duration deadline, int dlc = 8) {
+  SrtStreamSpec s;
+  s.id = id;
+  s.period = period;
+  s.deadline = deadline;
+  s.dlc = dlc;
+  return s;
+}
+
+TEST(SrtAnalysis, AcceptsLightLoad) {
+  SrtAnalysisInput in;
+  in.streams = {stream(1, 10_ms, 5_ms), stream(2, 20_ms, 10_ms),
+                stream(3, 50_ms, 20_ms)};
+  EXPECT_LT(srt_utilization(in), 0.05);
+  EXPECT_EQ(srt_edf_feasibility(in), std::nullopt);
+}
+
+TEST(SrtAnalysis, RejectsOverUtilization) {
+  SrtAnalysisInput in;
+  for (int i = 0; i < 8; ++i)
+    in.streams.push_back(stream(i, 1_ms, 1_ms));  // ~8 * 16% = 128%
+  EXPECT_GT(srt_utilization(in), 1.0);
+  const auto verdict = srt_edf_feasibility(in);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_NE(verdict->detail.find("utilization"), std::string::npos);
+}
+
+TEST(SrtAnalysis, RejectsTightDeadlineUnderBlocking) {
+  // One stream whose deadline cannot even cover blocking + its own frame.
+  SrtAnalysisInput in;
+  in.streams = {stream(1, 10_ms, 300_us)};
+  // C ~ 160 us, blocking ~ 160 us (NRT) + 160 us Δt_p -> demand ~ 480 us
+  // at t = 300 us: infeasible.
+  const auto verdict = srt_edf_feasibility(in);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->at.ns(), (300_us).ns());
+}
+
+TEST(SrtAnalysis, HrtReservationsConsumeSupply) {
+  // A set feasible on an empty bus becomes infeasible when the calendar
+  // reserves most of each round.
+  SrtAnalysisInput in;
+  for (int i = 0; i < 4; ++i)
+    in.streams.push_back(stream(i, 4_ms, 3_ms));
+  ASSERT_EQ(srt_edf_feasibility(in), std::nullopt);
+
+  Calendar::Config cal_cfg;
+  cal_cfg.round_length = 10_ms;
+  Calendar cal{cal_cfg};
+  for (int s = 0; s < 12; ++s) {
+    SlotSpec slot;
+    slot.lst_offset = Duration::microseconds(300 + s * 800);
+    slot.dlc = 8;
+    slot.fault.omission_degree = 2;
+    slot.etag = static_cast<Etag>(10 + s);
+    slot.publisher = static_cast<NodeId>(1 + s);
+    ASSERT_TRUE(cal.reserve(slot).has_value()) << s;
+  }
+  ASSERT_GT(cal.reserved_fraction(), 0.7);
+  in.calendar = &cal;
+  const auto verdict = srt_edf_feasibility(in);
+  EXPECT_TRUE(verdict.has_value());
+}
+
+TEST(SrtAnalysis, DeadlineMustNotExceedPeriod) {
+  SrtAnalysisInput in;
+  in.streams = {stream(1, 5_ms, 6_ms)};
+  const auto verdict = srt_edf_feasibility(in);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_NE(verdict->detail.find("deadline <= period"), std::string::npos);
+}
+
+/// Cross-validation: sets the analysis accepts must run without a single
+/// deadline miss in the simulator (strictly periodic releases — the worst
+/// sporadic pattern — random phases, saturating NRT background supplying
+/// the blocking the analysis budgets).
+class SrtAnalysisValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SrtAnalysisValidation, AcceptedSetsMissNothingInSimulation) {
+  Rng rng{GetParam()};
+  const bool with_hrt = GetParam() % 2 == 1;
+
+  Scenario scn;  // default Δt_p = 160 us matches the analysis default
+  if (with_hrt) {
+    // Two busy HRT slots whose interference the analysis must absorb.
+    for (int hs = 0; hs < 2; ++hs) {
+      SlotSpec slot;
+      slot.lst_offset = 1_ms + 3_ms * hs;
+      slot.dlc = 8;
+      slot.fault.omission_degree = 1;
+      slot.etag = *scn.binding().bind(subject_of("val/hrt" + std::to_string(hs)));
+      slot.publisher = static_cast<NodeId>(30 + hs);
+      ASSERT_TRUE(scn.calendar().reserve(slot).has_value());
+    }
+  }
+
+  SrtAnalysisInput in;
+  in.calendar = with_hrt ? &scn.calendar() : nullptr;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    in.streams.clear();
+    const int n = static_cast<int>(rng.uniform_int(2, 5));
+    for (int i = 0; i < n; ++i) {
+      const Duration period = Duration::microseconds(rng.uniform_int(2'000, 20'000));
+      const Duration deadline = Duration::nanoseconds(
+          period.ns() * rng.uniform_int(40, 100) / 100);
+      in.streams.push_back(stream(i, period, deadline,
+                                  static_cast<int>(rng.uniform_int(0, 8))));
+    }
+    if (!srt_edf_feasibility(in).has_value()) break;
+    in.streams.clear();
+  }
+  ASSERT_FALSE(in.streams.empty()) << "no accepted set found";
+
+  Node::ClockParams perfect;
+  perfect.granularity = 1_ns;
+  struct Pub {
+    std::unique_ptr<Srtec> chan;
+    std::uint64_t misses = 0;
+  };
+  std::vector<std::unique_ptr<Pub>> pubs;
+  std::vector<std::unique_ptr<PeriodicLocalTask>> feeders;
+  for (std::size_t i = 0; i < in.streams.size(); ++i) {
+    Node& node = scn.add_node(static_cast<NodeId>(i + 1), perfect);
+    auto pub = std::make_unique<Pub>();
+    pub->chan = std::make_unique<Srtec>(node.middleware());
+    Pub* pp = pub.get();
+    ASSERT_TRUE(pub->chan
+                    ->announce(subject_of("val/" + std::to_string(i)), {},
+                               [pp](const ExceptionInfo& e) {
+                                 if (e.error == ChannelError::kDeadlineMissed)
+                                   ++pp->misses;
+                               })
+                    .has_value());
+    const SrtStreamSpec spec = in.streams[i];
+    Scenario* sc = &scn;
+    feeders.push_back(std::make_unique<PeriodicLocalTask>(
+        node.clock(), spec.period, [pp, spec, sc] {
+          Event e;
+          e.content.assign(static_cast<std::size_t>(spec.dlc), 0x00);
+          e.attributes.deadline = sc->sim().now() + spec.deadline;
+          e.attributes.expiration =
+              sc->sim().now() + spec.deadline + Duration::seconds(1);
+          (void)pp->chan->publish(std::move(e));
+        }));
+    feeders.back()->start_at(TimePoint::origin() + Duration::nanoseconds(
+                                 rng.uniform_int(0, spec.period.ns() - 1)));
+    pubs.push_back(std::move(pub));
+  }
+  // Saturating NRT background: realizes the analysis' blocking term.
+  Node& noisy = scn.add_node(20, perfect);
+  struct Flood {
+    CanController* ctl;
+    std::function<void()> pump;
+  };
+  auto flood = std::make_unique<Flood>();
+  flood->ctl = &noisy.controller();
+  flood->pump = [f = flood.get()] {
+    CanFrame frame;
+    frame.id = encode_can_id({kNrtPriorityMax, 20, 500});
+    frame.dlc = 8;
+    frame.data.fill(0);
+    while (f->ctl->has_free_mailbox())
+      (void)f->ctl->submit(frame, TxMode::kAutoRetransmit,
+                           [f](auto, const CanFrame&, bool, TimePoint) {
+                             f->pump();
+                           });
+  };
+  flood->pump();
+
+  // Live HRT streams occupying the reserved windows every round.
+  std::vector<std::unique_ptr<Hrtec>> hrt_pubs;
+  std::vector<std::unique_ptr<PeriodicLocalTask>> hrt_feeders;
+  if (with_hrt) {
+    const Duration hrt_period = scn.calendar().config().round_length;
+    for (int hs = 0; hs < 2; ++hs) {
+      Node& node = scn.add_node(static_cast<NodeId>(30 + hs), perfect);
+      hrt_pubs.push_back(std::make_unique<Hrtec>(node.middleware()));
+      Hrtec* hp = hrt_pubs.back().get();
+      ASSERT_TRUE(hp->announce(subject_of("val/hrt" + std::to_string(hs)),
+                               AttributeList{attr::Periodic{hrt_period}},
+                               nullptr)
+                      .has_value());
+      hrt_feeders.push_back(std::make_unique<PeriodicLocalTask>(
+          node.clock(), hrt_period, [hp] {
+            Event e;
+            e.content.assign(8, 0x00);
+            (void)hp->publish(std::move(e));
+          }));
+      hrt_feeders.back()->start();
+    }
+  }
+
+  scn.run_for(Duration::seconds(2));
+  ASSERT_EQ(pubs.size(), in.streams.size());
+  for (std::size_t i = 0; i < pubs.size(); ++i)
+    EXPECT_EQ(pubs[i]->misses, 0u) << "stream " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SrtAnalysisValidation,
+                         ::testing::Values(7, 17, 27, 37, 47, 57));
+
+}  // namespace
+}  // namespace rtec

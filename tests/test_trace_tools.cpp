@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "core/status.hpp"
+#include "trace/bus_recorder.hpp"
+#include "trace/histogram.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+// ------------------------------------------------------------ bus recorder
+
+struct RecorderFixture : ::testing::Test {
+  Simulator sim;
+  CanBus bus{sim, BusConfig{}};
+  CanController a{sim, 1};
+  CanController b{sim, 2};
+  BusRecorder rec{bus};
+
+  void SetUp() override {
+    bus.attach(a);
+    bus.attach(b);
+  }
+
+  void send(std::uint32_t id) {
+    CanFrame f;
+    f.id = id;
+    f.dlc = 1;
+    (void)a.submit(f, TxMode::kAutoRetransmit);
+  }
+};
+
+TEST_F(RecorderFixture, RecordsEveryOccupancyIncludingErrors) {
+  ScriptedFaults faults;
+  faults.add_rule([](const FaultContext& ctx) { return ctx.attempt == 1; });
+  bus.set_fault_model(&faults);
+  send(0x100);
+  sim.run();
+  ASSERT_EQ(rec.size(), 2u);  // corrupted attempt + good retry
+  EXPECT_FALSE(rec.events()[0].success);
+  EXPECT_TRUE(rec.events()[1].success);
+  EXPECT_EQ(rec.events()[0].attempt, 1);
+  EXPECT_EQ(rec.events()[1].attempt, 2);
+}
+
+TEST_F(RecorderFixture, FilterSelectsByMaskedId) {
+  send(0x100);
+  send(0x200);
+  send(0x101);
+  sim.run();
+  EXPECT_EQ(rec.filtered(0x100, 0x1ffffffe).size(), 2u);  // 0x100 and 0x101
+  EXPECT_EQ(rec.filtered(0x200, 0x1fffffff).size(), 1u);
+}
+
+TEST_F(RecorderFixture, DivergenceDetection) {
+  send(0x100);
+  send(0x200);
+  sim.run();
+  // Same-trace comparison: identical up to its full length.
+  EXPECT_EQ(BusRecorder::first_divergence(rec, rec), rec.size());
+}
+
+TEST_F(RecorderFixture, CsvDumpParsesBack) {
+  send(0x123);
+  sim.run();
+  const char* path = "test_busrec_tmp.csv";
+  ASSERT_TRUE(rec.save_csv(path));
+  std::ifstream in{path};
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "start_ns,end_ns,id_hex,prio,node,etag,dlc,success,attempt,bits");
+  std::string row;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row)));
+  EXPECT_NE(row.find("00000123"), std::string::npos);
+  std::remove(path);
+}
+
+// --------------------------------------------------------------- histogram
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h{0, 100, 10};
+  for (double x : {5.0, 15.0, 15.5, 99.0, -1.0, 150.0}) h.add(x);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(HistogramTest, RenderShowsOnlyNonEmptyBuckets) {
+  Histogram h{0, 1000, 10};
+  for (int i = 0; i < 20; ++i) h.add(150.0);
+  h.add(950.0);
+  const std::string text = h.render(/*unit_scale=*/1.0, " us");
+  EXPECT_NE(text.find("[100.0..200.0) us"), std::string::npos);
+  EXPECT_NE(text.find("[900.0..1000.0) us"), std::string::npos);
+  EXPECT_EQ(text.find("[0.0..100.0)"), std::string::npos);  // empty bucket
+  // The dominant bucket has the longest bar.
+  EXPECT_NE(text.find("####"), std::string::npos);
+}
+
+// ------------------------------------------------------------ status dumps
+
+TEST(Status, MiddlewareAndNodeDumpsContainCounters) {
+  Scenario scn;
+  Node& a = scn.add_node(1);
+  Node& b = scn.add_node(2);
+  Srtec pub{a.middleware()};
+  Srtec sub{b.middleware()};
+  ASSERT_TRUE(pub.announce(subject_of("st/x"), {}, nullptr).has_value());
+  ASSERT_TRUE(sub.subscribe(subject_of("st/x"), {}, nullptr, nullptr)
+                  .has_value());
+  Event e;
+  e.content = {1};
+  ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+  scn.run_for(5_ms);
+
+  const std::string mw = middleware_status(a.middleware());
+  EXPECT_NE(mw.find("node 1 middleware:"), std::string::npos);
+  EXPECT_NE(mw.find("srt: published 1 sent 1 (by deadline 1)"),
+            std::string::npos);
+
+  const std::string ns = node_status(b);
+  EXPECT_NE(ns.find("node 2: local clock"), std::string::npos);
+  EXPECT_NE(ns.find("TEC 0 REC 0"), std::string::npos);
+  EXPECT_NE(ns.find("rx frames seen: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtec
