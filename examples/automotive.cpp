@@ -21,6 +21,7 @@
 #include "core/hrtec.hpp"
 #include "core/nrtec.hpp"
 #include "core/scenario.hpp"
+#include "lint_check.hpp"
 #include "time/periodic.hpp"
 #include "core/srtec.hpp"
 #include "trace/metrics.hpp"
@@ -91,6 +92,8 @@ int main() {
   }
   std::printf("calendar: %zu slots, %.1f%% of each round reserved\n",
               scn.calendar().size(), scn.calendar().reserved_fraction() * 100);
+  if (!examples::lint_calendar_or_report(scn.calendar(), "automotive"))
+    return 1;
 
   scn.run_for(10_ms);  // sync warm-up
 

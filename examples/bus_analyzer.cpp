@@ -22,6 +22,7 @@
 #include "core/hrtec.hpp"
 #include "core/scenario.hpp"
 #include "core/srtec.hpp"
+#include "lint_check.hpp"
 #include "sched/id_codec.hpp"
 #include "time/periodic.hpp"
 #include "trace/candump.hpp"
@@ -48,6 +49,7 @@ std::string record_demo() {
   slot.etag = *scn.binding().bind(subject);
   slot.publisher = a.id();
   (void)scn.calendar().reserve(slot);
+  (void)examples::lint_calendar_or_report(scn.calendar(), "bus_analyzer demo");
   CandumpRecorder recorder{scn.bus(), "rtec0"};
 
   scn.run_for(20_ms);

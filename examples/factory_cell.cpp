@@ -22,6 +22,7 @@
 #include "core/hrtec.hpp"
 #include "core/nrtec.hpp"
 #include "core/scenario.hpp"
+#include "lint_check.hpp"
 #include "time/periodic.hpp"
 #include "core/srtec.hpp"
 #include "util/task_pool.hpp"
@@ -63,6 +64,8 @@ int main() {
     s.periodic = false;
     if (!scn.calendar().reserve(s)) return 1;
   }
+  if (!examples::lint_calendar_or_report(scn.calendar(), "factory_cell"))
+    return 1;
 
   scn.run_for(40_ms);  // sync warm-up
 

@@ -17,6 +17,7 @@
 
 #include "core/hrtec.hpp"
 #include "core/scenario.hpp"
+#include "lint_check.hpp"
 #include "util/task_pool.hpp"
 
 using namespace rtec;
@@ -51,6 +52,8 @@ int main() {
     s.publisher = sensor.id();
     if (!scn.calendar().reserve(s)) return 1;
   }
+  if (!examples::lint_calendar_or_report(scn.calendar(), "fault_tolerance"))
+    return 1;
 
   // Faults: 2% random omissions + a 1 ms burst at 100 ms.
   auto random_faults = std::make_unique<RandomOmissionFaults>(0.02, 42);

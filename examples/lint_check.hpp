@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdio>
+
+#include "analysis/lint.hpp"
+
+/// Shared post-configuration check for the examples: after the offline
+/// phase has reserved its slots, run the static verifier over the calendar
+/// the scenario will actually execute. This is the deployment workflow the
+/// paper implies — the timeliness argument is established before the
+/// system runs — and it keeps every example calendar covered by the lint
+/// rule set as part of the example smoke tests.
+
+namespace rtec::examples {
+
+/// Lints `calendar` and prints the outcome; returns false when the report
+/// contains errors (warnings are printed but do not fail the example).
+inline bool lint_calendar_or_report(const Calendar& calendar,
+                                    const char* what) {
+  const analysis::LintReport report =
+      analysis::lint_calendar(image_of(calendar));
+  if (report.findings.empty()) {
+    std::printf("rtec-lint: %s: ACCEPT, %zu slots, no findings\n", what,
+                calendar.size());
+    return true;
+  }
+  std::printf("rtec-lint: %s:\n%s", what,
+              analysis::report_to_text(report).c_str());
+  return !report.has_errors();
+}
+
+}  // namespace rtec::examples

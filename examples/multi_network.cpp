@@ -14,6 +14,7 @@
 
 #include "core/gateway.hpp"
 #include "core/scenario.hpp"
+#include "lint_check.hpp"
 #include "time/periodic.hpp"
 
 using namespace rtec;
@@ -40,6 +41,13 @@ int main() {
       !gateway.bridge_nrt(logfile, /*fragmented*/ true, 253)) {
     std::puts("bridge setup failed");
     return 1;
+  }
+
+  // Each network has its own reservation calendar; verify both.
+  for (int net = 0; net < scn.network_count(); ++net) {
+    char what[24];
+    std::snprintf(what, sizeof what, "network %d", net);
+    if (!examples::lint_calendar_or_report(scn.calendar(net), what)) return 1;
   }
 
   // Press publishes its status on the cell bus.

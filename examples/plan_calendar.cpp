@@ -22,6 +22,7 @@
 #include <sstream>
 #include <vector>
 
+#include "lint_check.hpp"
 #include "sched/calendar_io.hpp"
 #include "sched/planner.hpp"
 #include "sched/srt_analysis.hpp"
@@ -96,6 +97,13 @@ int main(int argc, char** argv) {
                   parsed.error().message.c_str());
       return 1;
     }
+    // Loadable — now run the full static rule set over the raw image
+    // (rtec_lint gives the same verdict with per-rule JSON output).
+    const auto image = parse_calendar_image(ss.str());
+    const analysis::LintReport report = analysis::lint_calendar(*image);
+    if (!report.findings.empty())
+      std::fputs(analysis::report_to_text(report).c_str(), stdout);
+    if (report.has_errors()) return 1;
     std::printf("OK: %zu slots, round %.3f ms, %.1f%% reserved\n",
                 parsed->size(), parsed->config().round_length.ms(),
                 parsed->reserved_fraction() * 100);
@@ -202,6 +210,8 @@ int main(int argc, char** argv) {
       std::puts("  the stated blocking and HRT-interference assumptions.");
     }
   }
+
+  if (!examples::lint_calendar_or_report(cal, "planned calendar")) return 1;
 
   std::puts("\nfeed these SlotSpecs into Scenario::calendar().reserve(), or");
   std::puts("load the image at boot with calendar_from_text() (see");

@@ -1,0 +1,14 @@
+# Test driver: plan the built-in demo set, write the configuration image,
+# then run the static verifier over it. The planner's output must always
+# lint clean — a disagreement means either the planner emits something the
+# rule set rejects or a rule regressed into flagging valid calendars.
+set(image "${WORK_DIR}/plan_then_lint_demo.cal")
+execute_process(COMMAND "${PLANNER}" --out "${image}" RESULT_VARIABLE plan_rc)
+if(NOT plan_rc EQUAL 0)
+  message(FATAL_ERROR "plan_calendar failed (rc=${plan_rc})")
+endif()
+execute_process(COMMAND "${LINTER}" "${image}" RESULT_VARIABLE lint_rc
+                OUTPUT_VARIABLE lint_out ERROR_VARIABLE lint_out)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "rtec_lint rejected the planner's image:\n${lint_out}")
+endif()

@@ -15,6 +15,7 @@
 
 #include "core/hrtec.hpp"
 #include "core/scenario.hpp"
+#include "lint_check.hpp"
 #include "time/periodic.hpp"
 #include "util/logging.hpp"
 
@@ -54,6 +55,8 @@ int main() {
   }
   std::printf("calendar: %zu slots, %.1f%% of the round reserved\n",
               scn.calendar().size(), scn.calendar().reserved_fraction() * 100);
+  if (!examples::lint_calendar_or_report(scn.calendar(), "quickstart"))
+    return 1;
 
   // Let the clocks synchronize for two rounds before real-time operation.
   scn.run_for(20_ms);

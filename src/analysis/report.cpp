@@ -1,0 +1,145 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rtec::analysis {
+
+std::string_view rule_code(Rule r) {
+  switch (r) {
+    case Rule::kParseError: return "RTEC-P001";
+    case Rule::kWindowOutsideRound: return "RTEC-C001";
+    case Rule::kWindowOverlap: return "RTEC-C002";
+    case Rule::kWcttCoverage: return "RTEC-C003";
+    case Rule::kPeriodPhase: return "RTEC-C004";
+    case Rule::kReservedEtag: return "RTEC-C005";
+    case Rule::kOverSubscription: return "RTEC-C006";
+    case Rule::kGapBelowPrecision: return "RTEC-C007";
+    case Rule::kAdmissionDisagreement: return "RTEC-C008";
+    case Rule::kBadConfig: return "RTEC-C009";
+    case Rule::kBadSlotField: return "RTEC-C010";
+    case Rule::kUnknownPublisher: return "RTEC-S101";
+    case Rule::kDuplicateNode: return "RTEC-S102";
+    case Rule::kPriorityInversion: return "RTEC-S103";
+    case Rule::kEtagClassMixing: return "RTEC-S104";
+    case Rule::kSyncSlotMismatch: return "RTEC-S105";
+    case Rule::kSrtInfeasible: return "RTEC-S106";
+  }
+  return "RTEC-????";
+}
+
+std::string_view rule_name(Rule r) {
+  switch (r) {
+    case Rule::kParseError: return "parse-error";
+    case Rule::kWindowOutsideRound: return "window-outside-round";
+    case Rule::kWindowOverlap: return "window-overlap";
+    case Rule::kWcttCoverage: return "wctt-coverage";
+    case Rule::kPeriodPhase: return "period-phase";
+    case Rule::kReservedEtag: return "reserved-etag";
+    case Rule::kOverSubscription: return "over-subscription";
+    case Rule::kGapBelowPrecision: return "gap-below-precision";
+    case Rule::kAdmissionDisagreement: return "admission-disagreement";
+    case Rule::kBadConfig: return "bad-config";
+    case Rule::kBadSlotField: return "bad-slot-field";
+    case Rule::kUnknownPublisher: return "unknown-publisher";
+    case Rule::kDuplicateNode: return "duplicate-node";
+    case Rule::kPriorityInversion: return "priority-inversion";
+    case Rule::kEtagClassMixing: return "etag-class-mixing";
+    case Rule::kSyncSlotMismatch: return "sync-slot-mismatch";
+    case Rule::kSrtInfeasible: return "srt-infeasible";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+int LintReport::error_count() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.severity == Severity::kError;
+      }));
+}
+
+int LintReport::warning_count() const {
+  return static_cast<int>(findings.size()) - error_count();
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string report_to_json(const LintReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"rtec-lint\",\n";
+  out << "  \"format\": 1,\n";
+  out << "  \"counts\": {\"errors\": " << report.error_count()
+      << ", \"warnings\": " << report.warning_count() << "},\n";
+  out << "  \"verdict\": \"" << (report.has_errors() ? "reject" : "accept")
+      << "\",\n";
+  out << "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\n";
+    out << "      \"rule\": \"" << rule_code(f.rule) << "\",\n";
+    out << "      \"name\": \"" << rule_name(f.rule) << "\",\n";
+    out << "      \"severity\": \"" << to_string(f.severity) << "\",\n";
+    if (f.slot >= 0) out << "      \"slot\": " << f.slot << ",\n";
+    if (f.other_slot >= 0) out << "      \"other_slot\": " << f.other_slot << ",\n";
+    if (f.line > 0) out << "      \"line\": " << f.line << ",\n";
+    out << "      \"message\": ";
+    append_json_string(out, f.message);
+    out << "\n    }";
+  }
+  out << (report.findings.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+std::string report_to_text(const LintReport& report) {
+  std::ostringstream out;
+  for (const Finding& f : report.findings) {
+    if (f.line > 0) out << "line " << f.line << ": ";
+    out << to_string(f.severity) << " [" << rule_code(f.rule) << "/"
+        << rule_name(f.rule) << "]";
+    if (f.slot >= 0) {
+      out << " slot " << f.slot;
+      if (f.other_slot >= 0) out << " vs " << f.other_slot;
+      out << ":";
+    }
+    out << " " << f.message << "\n";
+  }
+  out << (report.has_errors() ? "REJECT" : "ACCEPT") << ": "
+      << report.error_count() << " error(s), " << report.warning_count()
+      << " warning(s)\n";
+  return out.str();
+}
+
+}  // namespace rtec::analysis

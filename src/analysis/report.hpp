@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file report.hpp
+/// Finding/report types of the static calendar verifier (lint.hpp) and
+/// their two renderings: a human diagnostic listing and a stable,
+/// machine-readable JSON document (golden-tested; consumed by CI and by
+/// any tool that wants to gate on lint verdicts without parsing prose).
+
+namespace rtec::analysis {
+
+/// Stable identities of every check the verifier performs. Codes are
+/// append-only: a released rule ID never changes meaning (tooling and CI
+/// gates key on them). Catalog and paper rationale: docs/static_analysis.md.
+enum class Rule {
+  kParseError,           ///< RTEC-P001 image/scenario text does not parse
+  kWindowOutsideRound,   ///< RTEC-C001 ready < 0 or deadline > round
+  kWindowOverlap,        ///< RTEC-C002 window separation below ΔG_min
+  kWcttCoverage,         ///< RTEC-C003 declared window vs ΔT_wait + WCTT
+  kPeriodPhase,          ///< RTEC-C004 period_rounds/phase_round inconsistent
+  kReservedEtag,         ///< RTEC-C005 slot on an infrastructure etag
+  kOverSubscription,     ///< RTEC-C006 reserved windows + gaps exceed round
+  kGapBelowPrecision,    ///< RTEC-C007 ΔG_min below clock disagreement
+  kAdmissionDisagreement,///< RTEC-C008 linter vs admission test verdict
+  kBadConfig,            ///< RTEC-C009 round/gap/bitrate unusable
+  kBadSlotField,         ///< RTEC-C010 dlc/k/etag/node outside the model
+  kUnknownPublisher,     ///< RTEC-S101 slot publisher not a declared node
+  kDuplicateNode,        ///< RTEC-S102 node id declared twice
+  kPriorityInversion,    ///< RTEC-S103 SRT/NRT id can out-arbitrate HRT
+  kEtagClassMixing,      ///< RTEC-S104 one etag bound to two traffic classes
+  kSyncSlotMismatch,     ///< RTEC-S105 sync declaration vs sync slot
+  kSrtInfeasible,        ///< RTEC-S106 declared SRT set fails the EDF test
+};
+
+/// "RTEC-C001"-style stable code.
+[[nodiscard]] std::string_view rule_code(Rule r);
+/// Short kebab-case rule name ("window-overlap").
+[[nodiscard]] std::string_view rule_name(Rule r);
+
+enum class Severity { kWarning, kError };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+struct Finding {
+  Rule rule{};
+  Severity severity = Severity::kError;
+  int slot = -1;        ///< calendar slot index the finding is about
+  int other_slot = -1;  ///< second slot for pairwise rules (overlap)
+  int line = 0;         ///< source line in the image/scenario text
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;
+
+  [[nodiscard]] int error_count() const;
+  [[nodiscard]] int warning_count() const;
+  [[nodiscard]] bool has_errors() const { return error_count() > 0; }
+
+  void add(Finding f) { findings.push_back(std::move(f)); }
+};
+
+/// Stable JSON rendering (2-space indent, fixed key order, findings in
+/// emission order). `slot`/`other_slot` are omitted when negative, `line`
+/// when 0, so purely structural findings stay compact.
+[[nodiscard]] std::string report_to_json(const LintReport& report);
+
+/// Human rendering: one "line N: severity [CODE/name] message" per
+/// finding plus a final verdict line.
+[[nodiscard]] std::string report_to_text(const LintReport& report);
+
+}  // namespace rtec::analysis

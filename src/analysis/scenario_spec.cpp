@@ -1,0 +1,179 @@
+#include "analysis/scenario_spec.hpp"
+
+#include <array>
+#include <limits>
+#include <sstream>
+
+#include "util/kv_text.hpp"
+
+namespace rtec::analysis {
+
+Expected<ScenarioSpec, CalendarIoError> parse_scenario_spec(
+    const std::string& text) {
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+
+  auto fail = [&](std::string msg) {
+    return Unexpected{CalendarIoError{line_no, std::move(msg)}};
+  };
+
+  bool have_header = false;
+  ScenarioSpec spec;
+
+  static constexpr std::array<std::string_view, 1> kNodeKeys = {"id"};
+  static constexpr std::array<std::string_view, 1> kSyncKeys = {"master"};
+  static constexpr std::array<std::string_view, 3> kBandKeys = {
+      "p_min", "p_max", "slot_us"};
+  static constexpr std::array<std::string_view, 7> kStreamKeys = {
+      "class", "node", "etag", "dlc", "period_us", "deadline_us", "priority"};
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls{line};
+    std::string word;
+    if (!(ls >> word)) continue;
+
+    if (word == "scenario") {
+      if (have_header) return fail("duplicate 'scenario' header");
+      std::string version;
+      if (!(ls >> version) || version != "v1")
+        return fail("unsupported scenario version");
+      std::string extra;
+      if (ls >> extra)
+        return fail("trailing token '" + extra + "' after header");
+      have_header = true;
+      continue;
+    }
+    if (!have_header) return fail("missing 'scenario v1' header");
+
+    std::string rest;
+    std::getline(ls, rest);
+
+    if (word == "precision_ns") {
+      if (spec.clock_precision)
+        return fail("duplicate precision_ns directive");
+      std::istringstream vs{rest};
+      std::string value;
+      if (!(vs >> value)) return fail("missing value for precision_ns");
+      std::string extra;
+      if (vs >> extra)
+        return fail("trailing token '" + extra + "' after precision_ns");
+      KvMap one;
+      one.values.emplace("precision_ns", value);
+      const auto v = one.get_int_in("precision_ns", 0,
+                                    std::numeric_limits<std::int64_t>::max());
+      if (!v) return fail("bad precision_ns: " + v.error());
+      spec.clock_precision = Duration::nanoseconds(*v);
+      continue;
+    }
+
+    if (word == "sync") {
+      if (spec.sync_master) return fail("duplicate sync directive");
+      const auto kv = parse_kv_tokens(rest, kSyncKeys);
+      if (!kv) return fail("malformed sync line: " + kv.error());
+      const auto master = kv->get_int_in("master", 0, kMaxNodeId);
+      if (!master) return fail("bad sync: " + master.error());
+      spec.sync_master = static_cast<NodeId>(*master);
+      spec.sync_line = line_no;
+      continue;
+    }
+
+    if (word == "srt_band") {
+      if (spec.srt_band) return fail("duplicate srt_band directive");
+      const auto kv = parse_kv_tokens(rest, kBandKeys);
+      if (!kv) return fail("malformed srt_band line: " + kv.error());
+      // Full 8-bit range accepted here on purpose: a band that collides
+      // with the HRT or NRT partitions is RTEC-S103's finding, not a
+      // syntax error.
+      const auto p_min = kv->get_int_in("p_min", 0, 255);
+      if (!p_min) return fail("bad srt_band: " + p_min.error());
+      const auto p_max = kv->get_int_in("p_max", 0, 255);
+      if (!p_max) return fail("bad srt_band: " + p_max.error());
+      const auto slot_us = kv->get_int_in(
+          "slot_us", 0, std::numeric_limits<std::int64_t>::max() / 1000);
+      if (!slot_us) return fail("bad srt_band: " + slot_us.error());
+      DeadlinePriorityMap::Config band;
+      band.p_min = static_cast<Priority>(*p_min);
+      band.p_max = static_cast<Priority>(*p_max);
+      band.slot_length = Duration::microseconds(*slot_us);
+      spec.srt_band = band;
+      spec.srt_band_line = line_no;
+      continue;
+    }
+
+    if (word == "node") {
+      const auto kv = parse_kv_tokens(rest, kNodeKeys);
+      if (!kv) return fail("malformed node line: " + kv.error());
+      const auto id = kv->get_int_in("id", 0, kMaxNodeId);
+      if (!id) return fail("bad node: " + id.error());
+      spec.nodes.push_back({static_cast<NodeId>(*id), line_no});
+      continue;
+    }
+
+    if (word == "stream") {
+      const auto kv = parse_kv_tokens(rest, kStreamKeys);
+      if (!kv) return fail("malformed stream line: " + kv.error());
+      const auto cls = kv->get_str("class");
+      if (!cls) return fail("bad stream: " + cls.error());
+      StreamSpec s;
+      s.line = line_no;
+      if (*cls == "srt") {
+        s.traffic = TrafficClass::kSrt;
+      } else if (*cls == "nrt") {
+        s.traffic = TrafficClass::kNrt;
+      } else {
+        return fail("bad stream: class must be srt or nrt, got '" + *cls +
+                    "'");
+      }
+      const auto node = kv->get_int_in("node", 0, kMaxNodeId);
+      if (!node) return fail("bad stream: " + node.error());
+      s.node = static_cast<NodeId>(*node);
+      const auto etag = kv->get_int_in("etag", 0, kMaxEtag);
+      if (!etag) return fail("bad stream: " + etag.error());
+      s.etag = static_cast<Etag>(*etag);
+      if (kv->contains("dlc")) {
+        const auto dlc = kv->get_int_in("dlc", 0, 8);
+        if (!dlc) return fail("bad stream: " + dlc.error());
+        s.dlc = static_cast<int>(*dlc);
+      }
+      if (s.traffic == TrafficClass::kSrt) {
+        const auto period = kv->get_int_in(
+            "period_us", 1, std::numeric_limits<std::int64_t>::max() / 1000);
+        if (!period) return fail("bad stream: " + period.error());
+        s.period = Duration::microseconds(*period);
+        s.deadline = s.period;
+        if (kv->contains("deadline_us")) {
+          const auto deadline = kv->get_int_in(
+              "deadline_us", 1,
+              std::numeric_limits<std::int64_t>::max() / 1000);
+          if (!deadline) return fail("bad stream: " + deadline.error());
+          s.deadline = Duration::microseconds(*deadline);
+        }
+        if (kv->contains("priority"))
+          return fail("bad stream: priority is an NRT field");
+      } else {
+        // Full 8-bit range: a priority outside the NRT partition (or one
+        // that could out-arbitrate HRT) is RTEC-S103's finding.
+        const auto priority = kv->get_int_in("priority", 0, 255);
+        if (!priority) return fail("bad stream: " + priority.error());
+        s.priority = static_cast<int>(*priority);
+        if (kv->contains("period_us") || kv->contains("deadline_us"))
+          return fail("bad stream: period_us/deadline_us are SRT fields");
+      }
+      spec.streams.push_back(std::move(s));
+      continue;
+    }
+    return fail("unknown directive '" + word + "'");
+  }
+
+  if (!have_header) {
+    line_no = 0;
+    return fail("empty input");
+  }
+  return spec;
+}
+
+}  // namespace rtec::analysis

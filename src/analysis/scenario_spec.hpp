@@ -1,0 +1,77 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/calendar_io.hpp"
+#include "sched/id_codec.hpp"
+#include "sched/priority_map.hpp"
+#include "util/time_types.hpp"
+
+/// \file scenario_spec.hpp
+/// Declarative scenario description for the static verifier: the facts a
+/// deployment knows offline that a calendar image alone cannot carry —
+/// which nodes exist, which node is the sync master, the measured
+/// worst-case clock disagreement, the SRT deadline→priority band layout
+/// (paper §3.4) and the declared SRT/NRT traffic. lint_scenario()
+/// cross-checks a calendar image against this description.
+///
+/// Text format (one directive per line, `#` starts a comment):
+///
+///   scenario v1
+///   precision_ns 33000                  # measured worst clock disagreement
+///   sync master=0
+///   srt_band p_min=1 p_max=250 slot_us=160
+///   node id=0
+///   node id=1
+///   stream class=srt node=1 etag=20 dlc=8 period_us=5000 deadline_us=5000
+///   stream class=nrt node=1 etag=30 dlc=8 priority=251
+///
+/// Like the calendar image format, parsing is strict: unknown directives
+/// or keys, duplicates of singleton directives and malformed values are
+/// hard errors. Semantic problems (duplicate node ids, priority bands
+/// that break HRT exclusivity) parse fine and are reported by the
+/// *linter* with a stable rule ID — the parser's job is syntax only.
+
+namespace rtec::analysis {
+
+/// One declared SRT or NRT stream.
+struct StreamSpec {
+  TrafficClass traffic = TrafficClass::kSrt;
+  NodeId node = 0;
+  Etag etag = 0;
+  int dlc = 8;
+  /// SRT: minimum inter-arrival / relative transmission deadline.
+  Duration period = Duration::zero();
+  Duration deadline = Duration::zero();
+  /// NRT: fixed application priority (paper §3.3: 251..255).
+  int priority = 0;
+  int line = 0;
+};
+
+struct DeclaredNode {
+  NodeId id = 0;
+  int line = 0;
+};
+
+struct ScenarioSpec {
+  std::vector<DeclaredNode> nodes;
+  std::vector<StreamSpec> streams;
+  /// srt_band directive; nullopt when the scenario does not describe its
+  /// SRT layer (band checks are skipped, the defaults of §3.3 assumed).
+  std::optional<DeadlinePriorityMap::Config> srt_band;
+  int srt_band_line = 0;
+  std::optional<NodeId> sync_master;
+  int sync_line = 0;
+  /// Measured worst-case clock disagreement (precision Π) that ΔG_min
+  /// must dominate; feeds lint rule RTEC-C007.
+  std::optional<Duration> clock_precision;
+};
+
+/// Strict parse of the scenario text format; reuses CalendarIoError so
+/// CLI diagnostics are uniform across both input files.
+[[nodiscard]] Expected<ScenarioSpec, CalendarIoError> parse_scenario_spec(
+    const std::string& text);
+
+}  // namespace rtec::analysis

@@ -27,9 +27,16 @@ SlotTiming Calendar::timing(std::size_t i) const {
 Expected<std::size_t, AdmissionError> Calendar::reserve(const SlotSpec& spec) {
   if (spec.dlc < 0 || spec.dlc > 8 || spec.etag > kMaxEtag ||
       spec.publisher > kMaxNodeId || spec.fault.omission_degree < 0 ||
-      spec.period_rounds < 1 || spec.phase_round < 0 ||
-      spec.phase_round >= spec.period_rounds)
+      spec.fault.omission_degree > kMaxOmissionDegree ||
+      spec.period_rounds < 1 || spec.period_rounds > kMaxPeriodRounds ||
+      spec.phase_round < 0 || spec.phase_round >= spec.period_rounds)
     return Unexpected{AdmissionError::kBadSpec};
+  // Reject LST offsets outside the round before deriving the window: any
+  // admissible window needs ready >= 0 and deadline <= round anyway, and
+  // checking first keeps timing_of's arithmetic bounded by the round.
+  if (spec.lst_offset < Duration::zero() ||
+      spec.lst_offset > cfg_.round_length)
+    return Unexpected{AdmissionError::kWindowOutsideRound};
 
   const SlotTiming t = timing_of(spec);
   if (t.ready_offset < Duration::zero() ||

@@ -47,6 +47,12 @@ struct SlotSpec {
   int phase_round = 0;   ///< which round of the m-cycle carries the instance
 };
 
+/// Upper bound on period_rounds the admission test accepts. A channel a
+/// million times slower than the round has no business reserving a window
+/// every round, and the bound keeps instance arithmetic
+/// (round_length * period_rounds) inside 64-bit nanoseconds.
+inline constexpr int kMaxPeriodRounds = 1'000'000;
+
 /// Derived absolute offsets of a slot within the round.
 struct SlotTiming {
   Duration ready_offset;     ///< LST − ΔT_wait

@@ -11,7 +11,8 @@ Duration max_blocking_time(const BusConfig& bus) {
 
 Duration hrt_wctt(int dlc, const FaultAssumption& fault, const BusConfig& bus) {
   assert(dlc >= 0 && dlc <= 8);
-  assert(fault.omission_degree >= 0);
+  assert(fault.omission_degree >= 0 &&
+         fault.omission_degree <= kMaxOmissionDegree);
   const int c_max = worst_case_wire_bits(dlc, /*extended=*/true);
   const int failed_attempt = c_max + kErrorFrameBits + kIntermissionBits;
   const int total_bits = fault.omission_degree * failed_attempt + c_max;

@@ -28,6 +28,13 @@ struct FaultAssumption {
   int omission_degree = 0;
 };
 
+/// Upper bound on the omission degree the model accepts. The paper works
+/// with single-digit k (each masked fault costs a worst-case frame of
+/// reserved window); 64 retries of one message is already far past any
+/// sensible fault assumption, and the bound keeps every window
+/// computation comfortably inside 64-bit nanoseconds.
+inline constexpr int kMaxOmissionDegree = 64;
+
 /// Longest time a just-started lower-priority frame can occupy the bus:
 /// a worst-case 8-byte extended data frame plus the intermission. This is
 /// ΔT_wait from Fig. 3 (the paper quotes ≈154 µs at 1 Mbit/s with slightly

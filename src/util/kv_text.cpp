@@ -1,0 +1,61 @@
+#include "util/kv_text.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace rtec {
+
+Expected<std::int64_t, std::string> KvMap::get_int(std::string_view key) const {
+  const auto it = values.find(key);
+  if (it == values.end())
+    return Unexpected{std::string{"missing "} + std::string{key}};
+  const std::string& text = it->second;
+  std::int64_t v = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec == std::errc::result_out_of_range)
+    return Unexpected{std::string{key} + " value out of range"};
+  if (ec != std::errc{} || ptr != last)
+    return Unexpected{std::string{"non-numeric value for "} + std::string{key}};
+  return v;
+}
+
+Expected<std::int64_t, std::string> KvMap::get_int_in(std::string_view key,
+                                                      std::int64_t lo,
+                                                      std::int64_t hi) const {
+  auto v = get_int(key);
+  if (!v) return v;
+  if (*v < lo || *v > hi)
+    return Unexpected{std::string{key} + " out of range [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) + "]"};
+  return v;
+}
+
+Expected<std::string, std::string> KvMap::get_str(std::string_view key) const {
+  const auto it = values.find(key);
+  if (it == values.end())
+    return Unexpected{std::string{"missing "} + std::string{key}};
+  return it->second;
+}
+
+Expected<KvMap, std::string> parse_kv_tokens(
+    std::string_view rest, std::span<const std::string_view> allowed) {
+  KvMap kv;
+  std::istringstream ls{std::string{rest}};
+  std::string token;
+  while (ls >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size())
+      return Unexpected{"malformed token '" + token + "' (want key=value)"};
+    std::string key = token.substr(0, eq);
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end())
+      return Unexpected{"unknown key '" + key + "'"};
+    if (kv.contains(key)) return Unexpected{"duplicate key '" + key + "'"};
+    kv.values.emplace(std::move(key), token.substr(eq + 1));
+  }
+  return kv;
+}
+
+}  // namespace rtec

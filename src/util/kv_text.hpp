@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/expected.hpp"
+
+/// \file kv_text.hpp
+/// Strict "key=value" token parsing shared by the configuration-image
+/// formats (sched/calendar_io.hpp, analysis/scenario_spec.hpp). The
+/// parsers are deliberately unforgiving: configuration images are the
+/// artifact the paper's offline admission argument rests on, so a
+/// truncated or tampered line must produce a diagnostic, never a silent
+/// default (unknown keys, duplicate keys, non-numeric or overflowing
+/// values are all hard errors).
+
+namespace rtec {
+
+/// Parsed key=value tokens of one directive line, values kept as raw text.
+class KvMap {
+ public:
+  std::map<std::string, std::string, std::less<>> values;
+
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return values.find(key) != values.end();
+  }
+
+  /// The value of `key` parsed as a decimal signed 64-bit integer.
+  /// Errors: key absent, empty/non-numeric value, trailing garbage,
+  /// value outside int64 range.
+  [[nodiscard]] Expected<std::int64_t, std::string> get_int(
+      std::string_view key) const;
+
+  /// get_int, but additionally rejects values outside [lo, hi].
+  [[nodiscard]] Expected<std::int64_t, std::string> get_int_in(
+      std::string_view key, std::int64_t lo, std::int64_t hi) const;
+
+  /// The raw text value (for non-numeric fields such as class=srt).
+  [[nodiscard]] Expected<std::string, std::string> get_str(
+      std::string_view key) const;
+};
+
+/// Splits the whitespace-separated remainder of a directive line into
+/// key=value pairs. Every key must appear in `allowed` and at most once;
+/// a token without '=', with an empty key, or with an empty value is
+/// rejected. Returns a message describing the first problem.
+[[nodiscard]] Expected<KvMap, std::string> parse_kv_tokens(
+    std::string_view rest, std::span<const std::string_view> allowed);
+
+}  // namespace rtec

@@ -121,6 +121,146 @@ TEST(CalendarIo, RejectsTamperedImages) {
   }
 }
 
+TEST(CalendarIo, EveryParseErrorBranchRejectsLoudly) {
+  // One case per syntactic error branch in parse_calendar_image — the
+  // strict-parse contract: nothing malformed ever degrades to a default.
+  constexpr const char* kHeader =
+      "calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n";
+  const struct {
+    std::string text;
+    const char* why;
+    const char* fragment;  // must appear in the diagnostic
+  } cases[] = {
+      {"", "empty input", "empty"},
+      {"calendar v1\ncalendar v1\n", "duplicate header", "duplicate"},
+      {"calendar v1 extra\n", "trailing token after header", "trailing"},
+      {"calendar\n", "missing version", "version"},
+      {"calendar v1\nround_ns 1\nround_ns 2\n", "duplicate directive",
+       "duplicate"},
+      {"calendar v1\nround_ns\n", "missing directive value", "missing value"},
+      {"calendar v1\nround_ns 1 2\n", "trailing directive token", "trailing"},
+      {"calendar v1\nround_ns -5\n", "negative round", "round_ns"},
+      {"calendar v1\nround_ns 99999999999999999999\n", "integer overflow",
+       "round_ns"},
+      {"calendar v1\nround_ns 2000000000000000\n", "round over format cap",
+       "round_ns"},
+      {"calendar v1\nround_ns 10000000\ngap_ns 40000\n"
+       "bitrate 2000000000\n",
+       "bitrate over 1 Gbit/s", "bitrate"},
+      {"calendar v1\nslot lst_ns=0 dlc=8 k=0 etag=10 node=1\n",
+       "slot before bus parameters", "slot before"},
+      {"calendar v1\nround_ns 10000000\n", "incomplete header at EOF",
+       "incomplete"},
+      {std::string{kHeader} + "slot lst_ns=0 dlc=8 k=0 etag=10 node=1 x=1\n",
+       "unknown slot key", "unknown"},
+      {std::string{kHeader} + "slot lst_ns=0 lst_ns=1 dlc=8 k=0 etag=10"
+       " node=1\n",
+       "duplicate slot key", "duplicate"},
+      {std::string{kHeader} + "slot lst_ns dlc=8 k=0 etag=10 node=1\n",
+       "token without '='", "="},
+      {std::string{kHeader} + "slot lst_ns= dlc=8 k=0 etag=10 node=1\n",
+       "empty value", "malformed token"},
+      {std::string{kHeader} + "slot lst_ns=0 k=0 etag=10 node=1\n",
+       "missing dlc", "dlc"},
+      {std::string{kHeader} +
+       "slot lst_ns=2000000000000000 dlc=8 k=0 etag=10 node=1\n",
+       "lst over format cap", "lst_ns"},
+      {std::string{kHeader} + "slot lst_ns=0 dlc=-1 k=0 etag=10 node=1\n",
+       "negative dlc", "dlc"},
+      {std::string{kHeader} + "slot lst_ns=0 dlc=8 k=-1 etag=10 node=1\n",
+       "negative k", "k"},
+      {std::string{kHeader} + "slot lst_ns=0 dlc=8 k=0 etag=10 node=128\n",
+       "node over 7-bit field", "node"},
+      {std::string{kHeader} +
+       "slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1 periodic=2\n",
+       "periodic out of 0/1", "periodic"},
+      {std::string{kHeader} +
+       "slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1 m=-1\n",
+       "negative period", "m"},
+      {std::string{kHeader} +
+       "slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1 window_ns=-1\n",
+       "negative declared window", "window_ns"},
+  };
+  for (const auto& c : cases) {
+    const auto image = parse_calendar_image(c.text);
+    EXPECT_FALSE(image.has_value()) << c.why;
+    if (!image.has_value()) {
+      EXPECT_NE(image.error().message.find(c.fragment), std::string::npos)
+          << c.why << ": got '" << image.error().message << "'";
+    }
+  }
+}
+
+TEST(CalendarIo, ParseAcceptsWhatOnlyAdmissionRejects) {
+  // The parse/admission split: syntactically well-formed but inadmissible
+  // calendars parse into an image (so rtec_lint can describe them), while
+  // calendar_from_text rejects them with the admission diagnosis.
+  constexpr const char* kHeader =
+      "calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n";
+  const struct {
+    std::string slots;
+    const char* why;
+    const char* fragment;
+  } cases[] = {
+      {"slot lst_ns=1000000 dlc=9 k=0 etag=10 node=1\n", "dlc 9",
+       "bad slot spec"},
+      {"slot lst_ns=1000000 dlc=8 k=65 etag=10 node=1\n",
+       "omission degree over model bound", "bad slot spec"},
+      {"slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1 m=0\n", "zero period",
+       "bad slot spec"},
+      {"slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1 m=2000000\n",
+       "period over model bound", "bad slot spec"},
+      {"slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1 m=2 phase=2\n",
+       "phase outside cycle", "bad slot spec"},
+      {"slot lst_ns=50000 dlc=8 k=0 etag=10 node=1\n",
+       "ready time before round start", "window outside round"},
+      {"slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1\n"
+       "slot lst_ns=1100000 dlc=8 k=0 etag=11 node=2\n",
+       "windows closer than the gap", "window overlap"},
+  };
+  for (const auto& c : cases) {
+    const std::string text = std::string{kHeader} + c.slots;
+    EXPECT_TRUE(parse_calendar_image(text).has_value()) << c.why;
+    const auto calendar = calendar_from_text(text);
+    EXPECT_FALSE(calendar.has_value()) << c.why;
+    if (!calendar.has_value()) {
+      EXPECT_NE(calendar.error().message.find(c.fragment), std::string::npos)
+          << c.why << ": got '" << calendar.error().message << "'";
+    }
+  }
+}
+
+TEST(CalendarIo, RejectsStaleWindowStamps) {
+  // window_ns is a redundancy stamp of ΔT_wait + WCTT(dlc, k); an image
+  // whose stamp disagrees with the value derived from its own bus
+  // parameters was edited or produced for a different bitrate.
+  const std::string text =
+      "calendar v1\nround_ns 10000000\ngap_ns 40000\nbitrate 1000000\n"
+      "slot lst_ns=1000000 dlc=8 k=1 etag=10 node=1 window_ns=123456\n";
+  EXPECT_TRUE(parse_calendar_image(text).has_value());
+  const auto calendar = calendar_from_text(text);
+  ASSERT_FALSE(calendar.has_value());
+  EXPECT_EQ(calendar.error().line, 5);
+  EXPECT_NE(calendar.error().message.find("disagrees"), std::string::npos);
+}
+
+TEST(CalendarIo, ImageSlotsRecordSourceLines) {
+  const std::string text =
+      "calendar v1\n"
+      "round_ns 10000000\n"
+      "gap_ns 40000\n"
+      "bitrate 1000000\n"
+      "# comment line\n"
+      "slot lst_ns=1000000 dlc=8 k=0 etag=10 node=1\n"
+      "\n"
+      "slot lst_ns=3000000 dlc=8 k=0 etag=11 node=2\n";
+  const auto image = parse_calendar_image(text);
+  ASSERT_TRUE(image.has_value());
+  ASSERT_EQ(image->slots.size(), 2u);
+  EXPECT_EQ(image->slots[0].line, 6);
+  EXPECT_EQ(image->slots[1].line, 8);
+}
+
 TEST(CalendarIo, ErrorsCarryLineNumbers) {
   const std::string text =
       "calendar v1\n"

@@ -1,0 +1,118 @@
+// rtec_lint — static calendar/scenario verifier (analysis/lint.hpp as a
+// command-line tool). Checks a configuration image, and optionally a
+// scenario description, against the full rule catalog without running
+// the simulator; the paper's offline admission argument (§3.1) as a CI
+// gate.
+//
+// Usage:
+//   rtec_lint [options] <calendar.cal>
+//     --scenario <file>     cross-check against a scenario description
+//     --json                machine-readable report on stdout
+//     --precision-ns <n>    worst-case clock disagreement for RTEC-C007
+//     --warn-reserved <f>   reserved-share warning threshold (default 0.95)
+//     --strict              exit non-zero on warnings too
+//
+// Exit codes: 0 clean (or warnings without --strict), 1 findings that
+// gate, 2 usage or I/O failure. Parse failures of either input are
+// reported as RTEC-P001 findings (exit 1) so CI sees one uniform report
+// format for every failure mode.
+//
+// Rule catalog and paper rationale: docs/static_analysis.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/lint.hpp"
+
+using namespace rtec;
+using namespace rtec::analysis;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario <file>] [--json] [--precision-ns <n>]\n"
+               "          [--warn-reserved <f>] [--strict] <calendar.cal>\n",
+               argv0);
+  return 2;
+}
+
+std::optional<std::string> slurp(const char* path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int emit(const LintReport& report, bool json, bool strict) {
+  const std::string rendered =
+      json ? report_to_json(report) : report_to_text(report);
+  std::fputs(rendered.c_str(), stdout);
+  if (report.has_errors()) return 1;
+  if (strict && report.warning_count() > 0) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* calendar_path = nullptr;
+  const char* scenario_path = nullptr;
+  bool json = false;
+  bool strict = false;
+  LintOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--precision-ns") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long long ns = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || ns < 0) return usage(argv[0]);
+      options.clock_precision = Duration::nanoseconds(ns);
+    } else if (std::strcmp(argv[i], "--warn-reserved") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const double f = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || f < 0 || f > 1) return usage(argv[0]);
+      options.warn_reserved_fraction = f;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (calendar_path == nullptr) {
+      calendar_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (calendar_path == nullptr) return usage(argv[0]);
+
+  const auto calendar_text = slurp(calendar_path);
+  if (!calendar_text) {
+    std::fprintf(stderr, "cannot open %s\n", calendar_path);
+    return 2;
+  }
+  const auto image = parse_calendar_image(*calendar_text);
+  if (!image) return emit(parse_failure_report(image.error()), json, strict);
+
+  if (scenario_path == nullptr)
+    return emit(lint_calendar(*image, options), json, strict);
+
+  const auto scenario_text = slurp(scenario_path);
+  if (!scenario_text) {
+    std::fprintf(stderr, "cannot open %s\n", scenario_path);
+    return 2;
+  }
+  const auto spec = parse_scenario_spec(*scenario_text);
+  if (!spec) return emit(parse_failure_report(spec.error()), json, strict);
+
+  return emit(lint_scenario(*image, *spec, options), json, strict);
+}
