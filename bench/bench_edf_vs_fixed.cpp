@@ -18,6 +18,7 @@
 #include "baselines/dual_priority.hpp"
 #include "baselines/fixed_priority.hpp"
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "core/scenario.hpp"
 #include "core/srtec.hpp"
 #include "trace/csv.hpp"
@@ -241,27 +242,49 @@ int main() {
   CsvWriter csv{"bench_edf_vs_fixed.csv"};
   csv.header({"load", "edf_miss", "edf_expiry_miss", "dm_miss", "dual_miss",
               "offered"});
+  bench::BenchJson bj{"edf_vs_fixed"};
+  bj.meta("generated_by", "bench_edf_vs_fixed");
+  bj.meta("threads", static_cast<double>(bench::sweep_threads()));
+
+  const std::vector<double> loads{0.3, 0.5, 0.7, 0.85, 0.95, 1.05, 1.25};
+  struct LoadRow {
+    Outcome edf, edfx, dm, dual;
+    bool dm_feasible = false;
+  };
+  // Each load point replays its own arrival trace through all four
+  // schedulers on private simulators — share-nothing, so points sweep in
+  // parallel.
+  const std::vector<LoadRow> rows =
+      bench::sweep(loads.size(), [&](std::size_t i) {
+        const Workload w = make_workload(loads[i], 4242);
+        return LoadRow{run_edf(w), run_edf(w, /*with_expiry=*/true), run_dm(w),
+                       run_dual(w),
+                       feasible(deadline_monotonic_assignment(w.streams),
+                                BusConfig{})};
+      });
 
   std::printf("\n  %-7s %-9s %-11s %-12s %-11s %-11s %s\n", "load", "offered",
               "edf miss", "edf+expiry", "dm miss", "dual miss",
               "dm feasible (RTA)");
   bench::rule();
-  for (double load : {0.3, 0.5, 0.7, 0.85, 0.95, 1.05, 1.25}) {
-    const Workload w = make_workload(load, 4242);
-    const Outcome edf = run_edf(w);
-    const Outcome edfx = run_edf(w, /*with_expiry=*/true);
-    const Outcome dm = run_dm(w);
-    const Outcome dual = run_dual(w);
-    const bool dm_feasible =
-        feasible(deadline_monotonic_assignment(w.streams), BusConfig{});
-    std::printf("  %-7.2f %-9llu %-11.4f %-12.4f %-11.4f %-11.4f %s\n", load,
-                static_cast<unsigned long long>(edf.offered),
-                edf.miss_ratio(), edfx.miss_ratio(), dm.miss_ratio(),
-                dual.miss_ratio(), dm_feasible ? "yes" : "no");
-    csv.row(load, edf.miss_ratio(), edfx.miss_ratio(), dm.miss_ratio(),
-            dual.miss_ratio(), edf.offered);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const LoadRow& r = rows[i];
+    std::printf("  %-7.2f %-9llu %-11.4f %-12.4f %-11.4f %-11.4f %s\n",
+                loads[i], static_cast<unsigned long long>(r.edf.offered),
+                r.edf.miss_ratio(), r.edfx.miss_ratio(), r.dm.miss_ratio(),
+                r.dual.miss_ratio(), r.dm_feasible ? "yes" : "no");
+    csv.row(loads[i], r.edf.miss_ratio(), r.edfx.miss_ratio(),
+            r.dm.miss_ratio(), r.dual.miss_ratio(), r.edf.offered);
+    bj.row({{"load", loads[i]},
+            {"edf_miss", r.edf.miss_ratio()},
+            {"edf_expiry_miss", r.edfx.miss_ratio()},
+            {"dm_miss", r.dm.miss_ratio()},
+            {"dual_miss", r.dual.miss_ratio()},
+            {"offered", static_cast<double>(r.edf.offered)}});
   }
   bench::rule();
+  if (!bj.write())
+    bench::note("warning: could not write BENCH_edf_vs_fixed.json");
   bench::note("edf+expiry — the paper's actual SRT design (every SRTEC event");
   bench::note("carries a validity interval) — misses least at every load up to");
   bench::note("deep overload. Plain EDF (no expiry) shows the classic");

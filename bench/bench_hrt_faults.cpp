@@ -16,8 +16,10 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "core/hrtec.hpp"
 #include "core/scenario.hpp"
 #include "trace/csv.hpp"
@@ -160,6 +162,27 @@ int main() {
   const BusConfig bus;
   CsvWriter csv{"bench_hrt_faults.csv"};
   csv.header({"dlc", "k", "analytic_us", "simulated_us"});
+  bench::BenchJson bj{"hrt_faults"};
+  bj.meta("generated_by", "bench_hrt_faults");
+  bj.meta("threads", static_cast<double>(bench::sweep_threads()));
+
+  // Every (dlc, k) point builds its own Scenario — run them in parallel.
+  struct T1Point {
+    int dlc = 0, k = 0;
+  };
+  std::vector<T1Point> t1_grid;
+  for (int dlc : {0, 2, 4, 8})
+    for (int k : {0, 1, 2, 3}) t1_grid.push_back({dlc, k});
+  struct T1Row {
+    Duration bound, sim;
+  };
+  const std::vector<T1Row> t1 =
+      bench::sweep(t1_grid.size(), [&](std::size_t i) {
+        const auto [dlc, k] = t1_grid[i];
+        // Bound from the latest ready time: ΔT_wait blocking + WCTT.
+        return T1Row{hrt_slot_window(dlc, {k}, bus),
+                     adversarial_latency(dlc, k, 4)};
+      });
 
   std::printf("\n  Table 1 — analytic WCTT bound vs worst simulated latency\n");
   std::printf("  (adversarial: k corruptions per message + worst blocker)\n");
@@ -167,40 +190,56 @@ int main() {
               "worst simulated (us)", "bound holds");
   bench::rule();
   bool all_hold = true;
-  for (int dlc : {0, 2, 4, 8}) {
-    for (int k : {0, 1, 2, 3}) {
-      // Bound from the latest ready time: ΔT_wait blocking + WCTT.
-      const Duration bound = hrt_slot_window(dlc, {k}, bus);
-      const Duration sim = adversarial_latency(dlc, k, 4);
-      const bool holds = sim <= bound;
-      all_hold &= holds;
-      std::printf("  %-5d %-4d %-22.1f %-22.1f %s\n", dlc, k, bound.us(),
-                  sim.us(), holds ? "yes" : "VIOLATED");
-      csv.row(dlc, k, bound.us(), sim.us());
-    }
+  for (std::size_t i = 0; i < t1_grid.size(); ++i) {
+    const auto [dlc, k] = t1_grid[i];
+    const bool holds = t1[i].sim <= t1[i].bound;
+    all_hold &= holds;
+    std::printf("  %-5d %-4d %-22.1f %-22.1f %s\n", dlc, k, t1[i].bound.us(),
+                t1[i].sim.us(), holds ? "yes" : "VIOLATED");
+    csv.row(dlc, k, t1[i].bound.us(), t1[i].sim.us());
+    bj.row({{"dlc", static_cast<double>(dlc)},
+            {"k", static_cast<double>(k)},
+            {"analytic_us", t1[i].bound.us()},
+            {"simulated_us", t1[i].sim.us()}});
   }
   bench::rule();
   bench::note("analysis dominates simulation in every configuration: %s",
               all_hold ? "YES" : "NO (!!)");
+
+  struct T2Point {
+    double p = 0;
+    int k = 0;
+  };
+  std::vector<T2Point> t2_grid;
+  for (double p : {0.01, 0.05, 0.20})
+    for (int k : {0, 1, 2, 3}) t2_grid.push_back({p, k});
+  const std::vector<RandomRun> t2 =
+      bench::sweep(t2_grid.size(), [&](std::size_t i) {
+        return random_fault_run(t2_grid[i].p, t2_grid[i].k, 2000, 77);
+      });
 
   std::printf("\n  Table 2 — random omission faults: failure rate vs provisioned k\n");
   std::printf("  (2000 instances each; failure = fault assumption violated)\n");
   std::printf("  %-8s %-4s %-10s %-9s %-10s %-10s %s\n", "p", "k", "failures",
               "bus-off", "missing", "retries", "failure rate");
   bench::rule();
-  for (double p : {0.01, 0.05, 0.20}) {
-    for (int k : {0, 1, 2, 3}) {
-      const RandomRun r = random_fault_run(p, k, 2000, 77);
-      std::printf("  %-8.2f %-4d %-10llu %-9llu %-10llu %-10llu %.4f\n", p, k,
-                  static_cast<unsigned long long>(r.failures),
-                  static_cast<unsigned long long>(r.bus_off),
-                  static_cast<unsigned long long>(r.missing),
-                  static_cast<unsigned long long>(r.retries),
-                  static_cast<double>(r.failures) /
-                      static_cast<double>(r.instances));
-    }
+  for (std::size_t i = 0; i < t2_grid.size(); ++i) {
+    const RandomRun& r = t2[i];
+    std::printf("  %-8.2f %-4d %-10llu %-9llu %-10llu %-10llu %.4f\n",
+                t2_grid[i].p, t2_grid[i].k,
+                static_cast<unsigned long long>(r.failures),
+                static_cast<unsigned long long>(r.bus_off),
+                static_cast<unsigned long long>(r.missing),
+                static_cast<unsigned long long>(r.retries),
+                static_cast<double>(r.failures) /
+                    static_cast<double>(r.instances));
+    bj.row({{"p", t2_grid[i].p},
+            {"k", static_cast<double>(t2_grid[i].k)},
+            {"failures", static_cast<double>(r.failures)},
+            {"retries", static_cast<double>(r.retries)}});
   }
   bench::rule();
+  if (!bj.write()) bench::note("warning: could not write BENCH_hrt_faults.json");
   bench::note("failures scale ~ p^(k+1): each extra provisioned attempt buys");
   bench::note("an order of magnitude, and costs bandwidth ONLY on actual");
   bench::note("faults (retries column) — the paper's low-average-penalty claim.");

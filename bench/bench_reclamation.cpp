@@ -16,9 +16,11 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "baselines/ttcan.hpp"
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "core/hrtec.hpp"
 #include "core/scenario.hpp"
 #include "trace/csv.hpp"
@@ -215,10 +217,44 @@ Goodput run_ttcan(int slots, double activity, std::uint64_t seed) {
   return g;
 }
 
+/// HRT bus share with random omission faults at rate p; `suppress` toggles
+/// the paper's suppression-on-success rule (the ablation knob).
+double hrt_share(double p, bool suppress) {
+  TaskPool tasks;
+  Scenario::Config cfg;
+  cfg.calendar.round_length = kRound;
+  Scenario scn{cfg};
+  Node& pub_node = scn.add_node(1, perfect());
+  scn.add_node(2, perfect());
+  const Subject subject = subject_of("e4/red");
+  SlotSpec spec;
+  spec.lst_offset = 1_ms;
+  spec.dlc = 8;
+  spec.fault.omission_degree = 1;
+  spec.etag = *scn.binding().bind(subject);
+  spec.publisher = pub_node.id();
+  (void)*scn.calendar().reserve(spec);
+  scn.set_fault_model(std::make_unique<RandomOmissionFaults>(p, 3));
+  Hrtec pub{pub_node.middleware()};
+  AttributeList attrs;
+  if (!suppress) attrs.add(attr::AlwaysTransmitCopies{});
+  (void)pub.announce(subject, attrs, nullptr);
+  auto* loop = tasks.make();
+  *loop = [&, loop] {
+    Event e;
+    e.content = {1, 2, 3, 4, 5, 6, 7, 8};
+    (void)pub.publish(std::move(e));
+    scn.sim().schedule_after(kRound, [loop] { (*loop)(); });
+  };
+  scn.sim().schedule_after(Duration::zero(), [loop] { (*loop)(); });
+  ClassUtilization util{scn.bus()};
+  scn.run_for(kRound * kRounds);
+  return util.fraction(TrafficClass::kHrt);
+}
+
 }  // namespace
 
 int main() {
-  TaskPool tasks;
   bench::title("E4", "bandwidth reclamation: event channels vs TTCAN-like TDMA");
   bench::note("%d rounds of %lld ms; sporadic k=1 HRT reservations; saturated",
               kRounds, static_cast<long long>(kRound.ns() / 1'000'000));
@@ -227,25 +263,48 @@ int main() {
   CsvWriter csv{"bench_reclamation.csv"};
   csv.header({"slots", "activity", "ours_nrt_kbps", "ttcan_nrt_kbps",
               "advantage_pct", "reserved_frac"});
+  bench::BenchJson bj{"reclamation"};
+  bj.meta("generated_by", "bench_reclamation");
+  bj.meta("threads", static_cast<double>(bench::sweep_threads()));
+
+  struct T1Point {
+    int slots = 0;
+    double activity = 0;
+  };
+  std::vector<T1Point> grid;
+  for (int slots : {2, 4, 8})
+    for (double a : {0.0, 0.25, 0.5, 1.0}) grid.push_back({slots, a});
+  struct T1Row {
+    Goodput ours, ttcan;
+  };
+  // Each point runs both schemes on private simulators — share-nothing.
+  const std::vector<T1Row> t1 = bench::sweep(grid.size(), [&](std::size_t i) {
+    return T1Row{run_ours(grid[i].slots, grid[i].activity, 7),
+                 run_ttcan(grid[i].slots, grid[i].activity, 7)};
+  });
 
   std::printf("\n  Table 1 — NRT goodput (kbit/s) vs reserved share and activity\n");
   std::printf("  %-6s %-9s %-10s %-12s %-12s %s\n", "slots", "reserved",
               "activity", "ours", "ttcan-like", "advantage");
   bench::rule();
-  for (int slots : {2, 4, 8}) {
-    for (double a : {0.0, 0.25, 0.5, 1.0}) {
-      const Goodput ours = run_ours(slots, a, 7);
-      const Goodput ttcan = run_ttcan(slots, a, 7);
-      const double adv = ttcan.nrt_kbps > 0
-                             ? (ours.nrt_kbps / ttcan.nrt_kbps - 1.0) * 100
-                             : 0.0;
-      std::printf("  %-6d %6.1f%%   %-9.2f %-12.0f %-12.0f %+.0f%%\n", slots,
-                  ours.reserved_frac * 100, a, ours.nrt_kbps, ttcan.nrt_kbps,
-                  adv);
-      csv.row(slots, a, ours.nrt_kbps, ttcan.nrt_kbps, adv,
-              ours.reserved_frac);
-    }
-    bench::rule();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& [slots, a] = grid[i];
+    const Goodput& ours = t1[i].ours;
+    const Goodput& ttcan = t1[i].ttcan;
+    const double adv = ttcan.nrt_kbps > 0
+                           ? (ours.nrt_kbps / ttcan.nrt_kbps - 1.0) * 100
+                           : 0.0;
+    std::printf("  %-6d %6.1f%%   %-9.2f %-12.0f %-12.0f %+.0f%%\n", slots,
+                ours.reserved_frac * 100, a, ours.nrt_kbps, ttcan.nrt_kbps,
+                adv);
+    csv.row(slots, a, ours.nrt_kbps, ttcan.nrt_kbps, adv,
+            ours.reserved_frac);
+    bj.row({{"slots", static_cast<double>(slots)},
+            {"activity", a},
+            {"ours_nrt_kbps", ours.nrt_kbps},
+            {"ttcan_nrt_kbps", ttcan.nrt_kbps},
+            {"reserved_frac", ours.reserved_frac}});
+    if (i % 4 == 3) bench::rule();
   }
   bench::note("ours: NRT goodput is nearly independent of the reserved share —");
   bench::note("whatever HRT does not use flows down automatically. ttcan-like:");
@@ -257,45 +316,26 @@ int main() {
   std::printf("  %-8s %-18s %-18s %s\n", "p", "ours HRT share",
               "ours no-suppress", "ttcan-like");
   bench::rule();
-  const auto hrt_share = [&](double p, bool suppress) {
-    Scenario::Config cfg;
-    cfg.calendar.round_length = kRound;
-    Scenario scn{cfg};
-    Node& pub_node = scn.add_node(1, perfect());
-    scn.add_node(2, perfect());
-    const Subject subject = subject_of("e4/red");
-    SlotSpec spec;
-    spec.lst_offset = 1_ms;
-    spec.dlc = 8;
-    spec.fault.omission_degree = 1;
-    spec.etag = *scn.binding().bind(subject);
-    spec.publisher = pub_node.id();
-    (void)*scn.calendar().reserve(spec);
-    scn.set_fault_model(std::make_unique<RandomOmissionFaults>(p, 3));
-    Hrtec pub{pub_node.middleware()};
-    AttributeList attrs;
-    if (!suppress) attrs.add(attr::AlwaysTransmitCopies{});
-    (void)pub.announce(subject, attrs, nullptr);
-    auto* loop = tasks.make();
-    *loop = [&, loop] {
-      Event e;
-      e.content = {1, 2, 3, 4, 5, 6, 7, 8};
-      (void)pub.publish(std::move(e));
-      scn.sim().schedule_after(kRound, [loop] { (*loop)(); });
-    };
-    scn.sim().schedule_after(Duration::zero(), [loop] { (*loop)(); });
-    ClassUtilization util{scn.bus()};
-    scn.run_for(kRound * kRounds);
-    return util.fraction(TrafficClass::kHrt);
+  const std::vector<double> ps{0.0, 0.02, 0.10};
+  struct T2Row {
+    double ours = 0, ablated = 0, ttcan = 0;
   };
-  for (double p : {0.0, 0.02, 0.10}) {
-    const double ours = hrt_share(p, /*suppress=*/true);
-    const double ablated = hrt_share(p, /*suppress=*/false);
-    const Goodput ttcan = run_ttcan(1, 1.0, 3);
-    std::printf("  %-8.2f %9.3f%%         %9.3f%%         %9.3f%%\n", p,
-                ours * 100, ablated * 100, ttcan.hrt_util * 100);
+  const std::vector<T2Row> t2 = bench::sweep(ps.size(), [&](std::size_t i) {
+    return T2Row{hrt_share(ps[i], /*suppress=*/true),
+                 hrt_share(ps[i], /*suppress=*/false),
+                 run_ttcan(1, 1.0, 3).hrt_util};
+  });
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    std::printf("  %-8.2f %9.3f%%         %9.3f%%         %9.3f%%\n", ps[i],
+                t2[i].ours * 100, t2[i].ablated * 100, t2[i].ttcan * 100);
+    bj.row({{"p", ps[i]},
+            {"ours_hrt_share", t2[i].ours},
+            {"no_suppress_hrt_share", t2[i].ablated},
+            {"ttcan_hrt_share", t2[i].ttcan}});
   }
   bench::rule();
+  if (!bj.write())
+    bench::note("warning: could not write BENCH_reclamation.json");
   bench::note("ours grows only with p (copies sent when faults occur); both the");
   bench::note("no-suppress ablation and the TDMA baseline pay ~2x at every fault");
   bench::note("rate — \"time redundancy only costs bandwidth if faults really");

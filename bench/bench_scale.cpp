@@ -1,7 +1,9 @@
 // Simulation capacity: how large a network and how much simulated time the
 // experiment harness can afford. Sweeps node count with a proportional SRT
 // workload plus one HRT stream per 4 nodes, 10 simulated seconds each, and
-// reports wall time, realtime factor and simulated frame rate.
+// reports wall time, realtime factor and simulated frame rate. Points run
+// in parallel on the sweep harness; RTEC_BENCH_QUICK=1 shrinks the sweep
+// for CI smoke runs.
 
 #include <chrono>
 #include <cstdio>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/sweep.hpp"
 #include "core/hrtec.hpp"
 #include "core/scenario.hpp"
 #include "core/srtec.hpp"
@@ -30,9 +33,8 @@ struct Row {
   double frames_per_wall_s = 0;
 };
 
-Row run(int node_count) {
+Row run(int node_count, Duration kRun) {
   TaskPool pool;
-  const Duration kRun = Duration::seconds(10);
   Scenario::Config cfg;
   cfg.calendar.round_length = 10_ms;
   Scenario scn{cfg};
@@ -123,25 +125,52 @@ Row run(int node_count) {
 }  // namespace
 
 int main() {
+  const bool quick = bench::quick_mode();
+  const Duration sim_time = quick ? Duration::seconds(2) : Duration::seconds(10);
+  const std::vector<int> node_counts =
+      quick ? std::vector<int>{4, 16} : std::vector<int>{4, 8, 16, 32, 64};
+
   bench::title("scale", "simulation capacity vs network size");
-  bench::note("10 simulated seconds; 1 HRT stream per 4 nodes; SRT Poisson");
+  bench::note("%lld simulated seconds; 1 HRT stream per 4 nodes; SRT Poisson",
+              static_cast<long long>(sim_time.ns() / 1'000'000'000));
   bench::note("chatter at ~40%% load from every node; clock sync running");
 
   CsvWriter csv{"bench_scale.csv"};
   csv.header({"nodes", "wall_s", "realtime_factor", "frames",
               "frames_per_wall_s"});
+  bench::BenchJson bj{"scale"};
+  bj.meta("generated_by", "bench_scale");
+  bj.meta("sim_seconds", sim_time.sec());
+  bj.meta("quick", quick ? 1.0 : 0.0);
+  bj.meta("threads", static_cast<double>(bench::sweep_threads()));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<Row> rows = bench::sweep(
+      node_counts.size(),
+      [&](std::size_t i) { return run(node_counts[i], sim_time); });
+  const double total_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   std::printf("\n  %-8s %-10s %-18s %-12s %s\n", "nodes", "wall (s)",
               "x realtime", "frames", "frames/wall-s");
   bench::rule();
-  for (int nodes : {4, 8, 16, 32, 64}) {
-    const Row r = run(nodes);
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    const Row& r = rows[i];
+    const int nodes = node_counts[i];
     std::printf("  %-8d %-10.2f %-18.1f %-12.0f %.0f\n", nodes, r.wall_s,
                 r.realtime_factor, r.frames, r.frames_per_wall_s);
     csv.row(nodes, r.wall_s, r.realtime_factor, r.frames,
             r.frames_per_wall_s);
+    bj.row({{"nodes", static_cast<double>(nodes)},
+            {"wall_s", r.wall_s},
+            {"realtime_factor", r.realtime_factor},
+            {"frames", r.frames},
+            {"frames_per_wall_s", r.frames_per_wall_s}});
   }
   bench::rule();
+  bj.meta("wall_s_total", total_wall);
+  if (!bj.write()) bench::note("warning: could not write BENCH_scale.json");
   bench::note("the kernel sustains >100k simulated frames per wall second at");
   bench::note("realistic bus loads, so every experiment in EXPERIMENTS.md runs");
   bench::note("in seconds — and parameter sweeps stay cheap.");

@@ -1,13 +1,19 @@
 // Microbenchmarks (google-benchmark) of the simulation substrate itself:
-// event-queue throughput, frame-accurate bus throughput, and middleware
-// publish-path cost. These bound how much simulated traffic the experiment
-// harnesses can afford and guard against performance regressions in the
-// kernel.
+// event-queue throughput (schedule / cancel / fire isolated and combined),
+// frame-length computation (cached vs uncached), frame-accurate bus
+// throughput, and middleware publish-path cost. These bound how much
+// simulated traffic the experiment harnesses can afford and guard against
+// performance regressions in the kernel.
+//
+// Results are mirrored to BENCH_simcore.json (items/s per benchmark) so the
+// perf trajectory is trackable PR-over-PR.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <optional>
 
+#include "bench/sweep.hpp"
 #include "canbus/bus.hpp"
 #include "core/scenario.hpp"
 #include "core/srtec.hpp"
@@ -17,6 +23,8 @@ using namespace rtec;
 using namespace rtec::literals;
 
 namespace {
+
+// ------------------------------------------------------------ event kernel
 
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -33,6 +41,80 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
 
+// Schedule throughput in isolation: fill a fresh kernel, never fire.
+void BM_SimulatorScheduleOnly(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < n; ++i)
+      sim.schedule_at(TimePoint::origin() + Duration::microseconds(i), [] {});
+    benchmark::DoNotOptimize(sim.pending());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleOnly)->Arg(4096);
+
+// Cancel throughput in isolation: O(1) lazy cancellation of live timers.
+void BM_SimulatorCancelOnly(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<Simulator::TimerHandle> handles(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    for (int i = 0; i < n; ++i)
+      handles[static_cast<std::size_t>(i)] = sim.schedule_at(
+          TimePoint::origin() + Duration::microseconds(i), [] {});
+    state.ResumeTiming();
+    for (auto& h : handles) sim.cancel(h);
+    benchmark::DoNotOptimize(sim.pending());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorCancelOnly)->Arg(4096);
+
+// Fire throughput in isolation: a pre-filled queue is drained with trivial
+// callbacks, timing only pop + dispatch + slot release.
+void BM_SimulatorFireOnly(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::optional<Simulator> sim;
+  int fired = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim.emplace();
+    fired = 0;
+    for (int i = 0; i < n; ++i)
+      sim->schedule_at(TimePoint::origin() + Duration::microseconds(i),
+                       [&fired] { ++fired; });
+    state.ResumeTiming();
+    sim->run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorFireOnly)->Arg(4096);
+
+// Fire + re-arm round trip: one self-re-arming timer via the TaskPool
+// idiom (periodic re-arm from inside the callback). The std::function hop
+// in the middle is part of the measured pattern.
+void BM_SimulatorFireChain(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = n;
+    // Re-arm via reference capture — the TaskPool idiom scenario scripts
+    // use (util/task_pool.hpp), so the fire path is measured without a
+    // std::function copy per event.
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_after(1_us, [&tick] { tick(); });
+    };
+    sim.schedule_after(1_us, [&tick] { tick(); });
+    sim.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorFireChain)->Arg(4096);
+
 void BM_SimulatorTimerCancel(benchmark::State& state) {
   for (auto _ : state) {
     Simulator sim;
@@ -48,6 +130,42 @@ void BM_SimulatorTimerCancel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SimulatorTimerCancel)->Arg(4096);
+
+// ------------------------------------------------------------ frame length
+
+// Uncached: full serialization + CRC15 + stuff counting per query (payload
+// mutated every iteration so no caching is possible).
+void BM_FrameWireBitsUncached(benchmark::State& state) {
+  CanFrame f;
+  f.id = 0x15a5a5a5 & kMaxExtendedId;
+  f.dlc = 8;
+  f.data = {0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame_wire_bits(f));
+    f.data[0] = static_cast<std::uint8_t>(f.data[0] + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameWireBitsUncached);
+
+// Cached: the mailbox length cache hit path — what every retransmission
+// attempt pays after the first serialization.
+void BM_FrameWireBitsCached(benchmark::State& state) {
+  Simulator sim;
+  CanController ctl{sim, 1};
+  CanFrame f;
+  f.id = 0x15a5a5a5 & kMaxExtendedId;
+  f.dlc = 8;
+  f.data = {0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0};
+  const auto mb = *ctl.submit(f, TxMode::kAutoRetransmit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.mailbox_wire_bits(mb));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameWireBitsCached);
+
+// ------------------------------------------------------------ full stack
 
 void BM_BusSaturatedFrames(benchmark::State& state) {
   for (auto _ : state) {
@@ -80,19 +198,6 @@ void BM_BusSaturatedFrames(benchmark::State& state) {
 }
 BENCHMARK(BM_BusSaturatedFrames)->Arg(10000);
 
-void BM_FrameStuffedLength(benchmark::State& state) {
-  CanFrame f;
-  f.id = 0x15a5a5a5 & kMaxExtendedId;
-  f.dlc = 8;
-  f.data = {0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(frame_wire_bits(f));
-    f.data[0] = static_cast<std::uint8_t>(f.data[0] + 1);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_FrameStuffedLength);
-
 void BM_SrtPublishPath(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -117,6 +222,54 @@ void BM_SrtPublishPath(benchmark::State& state) {
 }
 BENCHMARK(BM_SrtPublishPath)->Unit(benchmark::kMillisecond);
 
+// ----------------------------------------------------------- JSON mirror
+
+/// Console output as usual, plus one BENCH_simcore.json row per benchmark.
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      rows.emplace_back(run.benchmark_name(),
+                        run.counters.find("items_per_second") !=
+                                run.counters.end()
+                            ? static_cast<double>(
+                                  run.counters.at("items_per_second"))
+                            : 0.0,
+                        run.GetAdjustedRealTime());
+    }
+  }
+
+  struct Result {
+    Result(std::string n, double ips, double t)
+        : name{std::move(n)}, items_per_second{ips}, real_time_ns{t} {}
+    std::string name;
+    double items_per_second;
+    double real_time_ns;
+  };
+  std::vector<Result> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonMirrorReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  rtec::bench::BenchJson bj{"simcore"};
+  bj.meta("generated_by", "bench_simcore");
+  for (std::size_t i = 0; i < reporter.rows.size(); ++i) {
+    // Benchmark names become meta-free rows: {"bench": index} + metrics;
+    // the name itself is carried in meta to keep row cells numeric.
+    bj.meta("bench_" + std::to_string(i), reporter.rows[i].name);
+    bj.row({{"bench", static_cast<double>(i)},
+            {"items_per_second", reporter.rows[i].items_per_second},
+            {"real_time_ns", reporter.rows[i].real_time_ns}});
+  }
+  if (!bj.write()) std::fprintf(stderr, "could not write BENCH_simcore.json\n");
+  return 0;
+}

@@ -29,7 +29,9 @@ Expected<CanController::MailboxId, TxError> CanController::submit(
     box.frame = frame;
     box.mode = mode;
     box.attempts = 0;
+    box.wire_bits = -1;  // payload changed: invalidate the length cache
     box.on_result = std::move(on_result);
+    invalidate_arb_cache();
     if (bus_ != nullptr) bus_->notify_tx_request();
     return mb;
   }
@@ -41,6 +43,7 @@ bool CanController::abort(MailboxId mb) {
   Mailbox& box = mailboxes_[mb];
   if (!box.pending || box.transmitting) return false;
   box.pending = false;
+  invalidate_arb_cache();
   return true;
 }
 
@@ -50,6 +53,8 @@ bool CanController::rewrite_id(MailboxId mb, std::uint32_t new_id) {
   if (!box.pending || box.transmitting) return false;
   assert(box.frame.extended ? new_id <= kMaxExtendedId : new_id <= kMaxBaseId);
   box.frame.id = new_id;
+  box.wire_bits = -1;  // identifier bits feed stuffing + CRC: invalidate
+  invalidate_arb_cache();
   if (bus_ != nullptr) bus_->notify_tx_request();  // may change arbitration order
   return true;
 }
@@ -85,6 +90,7 @@ void CanController::set_online(bool online) {
         box.on_result = nullptr;
       }
     }
+    invalidate_arb_cache();
   } else {
     tec_ = 0;
     rec_ = 0;
@@ -103,13 +109,17 @@ void CanController::reset_errors() {
 std::optional<CanController::MailboxId> CanController::arbitration_candidate()
     const {
   if (!online_ || bus_off_) return std::nullopt;
-  std::optional<MailboxId> best;
-  for (MailboxId mb = 0; mb < mailboxes_.size(); ++mb) {
-    const Mailbox& box = mailboxes_[mb];
-    if (!box.pending) continue;
-    if (!best || box.frame.id < mailboxes_[*best].frame.id) best = mb;
+  if (!arb_cache_valid_) {
+    std::optional<MailboxId> best;
+    for (MailboxId mb = 0; mb < mailboxes_.size(); ++mb) {
+      const Mailbox& box = mailboxes_[mb];
+      if (!box.pending) continue;
+      if (!best || box.frame.id < mailboxes_[*best].frame.id) best = mb;
+    }
+    arb_cache_ = best;
+    arb_cache_valid_ = true;
   }
-  return best;
+  return arb_cache_;
 }
 
 const CanFrame& CanController::mailbox_frame(MailboxId mb) const {
@@ -120,6 +130,13 @@ const CanFrame& CanController::mailbox_frame(MailboxId mb) const {
 int CanController::mailbox_attempts(MailboxId mb) const {
   assert(mb < mailboxes_.size());
   return mailboxes_[mb].attempts;
+}
+
+int CanController::mailbox_wire_bits(MailboxId mb) const {
+  assert(mb < mailboxes_.size() && mailboxes_[mb].pending);
+  const Mailbox& box = mailboxes_[mb];
+  if (box.wire_bits < 0) box.wire_bits = frame_wire_bits(box.frame);
+  return box.wire_bits;
 }
 
 void CanController::on_tx_started(MailboxId mb) {
@@ -180,6 +197,7 @@ void CanController::release_mailbox(MailboxId mb, bool success, TimePoint now) {
   TxResultHandler handler = std::move(box.on_result);
   box.on_result = nullptr;
   box.pending = false;
+  invalidate_arb_cache();
   if (handler) handler(mb, frame, success, now);
 }
 

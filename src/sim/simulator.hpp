@@ -1,12 +1,13 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "sim/callable.hpp"
 #include "util/time_types.hpp"
 
 /// \file simulator.hpp
@@ -19,24 +20,34 @@
 ///    a monotonically increasing sequence number),
 ///  * the kernel is single-threaded — there is no hidden concurrency, so a
 ///    given scenario + seed always produces bit-identical traces.
+///
+/// Implementation (see docs/performance.md): a 4-ary min-heap ordered by
+/// (time, seq) whose entries reference slab-recycled slots carrying the
+/// callback inline (small-buffer optimisation, no allocation on the hot
+/// path). Handles are generation-tagged for O(1) lazy cancellation; the
+/// heap compacts itself when cancelled entries outnumber live ones.
 
 namespace rtec {
 
 class Simulator {
  public:
+  /// Legacy alias; `schedule_*` accept any `void()` callable directly and
+  /// store small ones without allocation.
   using Callback = std::function<void()>;
 
   /// Opaque handle for cancelling a scheduled event. Default-constructed
-  /// handles are inert.
+  /// handles are inert. A handle carries its event's packed (seq, slot)
+  /// identity; sequence numbers never repeat, so a handle left over from a
+  /// fired or cancelled event never aliases a newer one.
   class TimerHandle {
    public:
     TimerHandle() = default;
-    [[nodiscard]] bool valid() const { return id_ != 0; }
+    [[nodiscard]] bool valid() const { return seqslot_ != 0; }
 
    private:
     friend class Simulator;
-    explicit TimerHandle(std::uint64_t id) : id_{id} {}
-    std::uint64_t id_ = 0;
+    explicit TimerHandle(std::uint64_t seqslot) : seqslot_{seqslot} {}
+    std::uint64_t seqslot_ = 0;
   };
 
   Simulator() = default;
@@ -47,13 +58,34 @@ class Simulator {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedules `cb` to run at absolute time `t` (>= now, asserted).
-  TimerHandle schedule_at(TimePoint t, Callback cb);
+  template <typename F>
+  TimerHandle schedule_at(TimePoint t, F&& cb) {
+    static_assert(std::is_invocable_v<std::decay_t<F>&>,
+                  "callback must be invocable with no arguments");
+    assert(t >= now_ && "cannot schedule into the past");
+    if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>)
+      assert(static_cast<bool>(cb) && "null callback");
+    const std::uint32_t idx = acquire_slot();
+    slot(idx).emplace(std::forward<F>(cb), slab_);
+    assert(next_seq_ < (std::uint64_t{1} << kSeqBits) &&
+           "sequence space exhausted");
+    const std::uint64_t seqslot = next_seq_++ << kSlotBits | idx;
+    slot_seq_[idx] = seqslot;
+    heap_push(Entry{t, seqslot});
+    ++live_;
+    return TimerHandle{seqslot};
+  }
 
   /// Schedules `cb` to run `d` from now (d >= 0, asserted).
-  TimerHandle schedule_after(Duration d, Callback cb);
+  template <typename F>
+  TimerHandle schedule_after(Duration d, F&& cb) {
+    assert(d >= Duration::zero());
+    return schedule_at(now_ + d, std::forward<F>(cb));
+  }
 
-  /// Cancels a scheduled event. Idempotent; harmless on fired/invalid
-  /// handles. The handle is invalidated.
+  /// Cancels a scheduled event in O(1) (the heap entry is removed lazily).
+  /// Idempotent; harmless on fired/invalid handles. The handle is
+  /// invalidated.
   void cancel(TimerHandle& h);
 
   /// Executes the next pending event (advancing `now`). Returns false when
@@ -68,26 +100,87 @@ class Simulator {
   void run();
 
   /// Number of scheduled (non-cancelled) events.
-  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+  /// Raw heap entries, including lazily-cancelled ones awaiting compaction
+  /// (diagnostics and bounded-memory tests; always >= pending()).
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
 
  private:
+  /// Heap entries are 16 bytes: the event's identity is one packed word,
+  /// `seq << kSlotBits | slot`. The sequence number lives in the high bits
+  /// so that comparing packed words at equal timestamps is exactly the FIFO
+  /// seq comparison. Halving the entry from the naive 24-byte layout is a
+  /// measured win — sift memory traffic dominates pop cost at realistic
+  /// queue depths.
   struct Entry {
     TimePoint at;
-    std::uint64_t seq;
-    std::uint64_t id;
-    // std::priority_queue is a max-heap; invert so the earliest (time, seq)
-    // is on top.
-    bool operator<(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
+    std::uint64_t seqslot;
   };
 
-  std::priority_queue<Entry> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  /// Bit budget for the packed word: 2^40 events per simulation and 2^24
+  /// concurrently live slots (a slot is only reused after it frees, so slot
+  /// count tracks the *peak* pending events, which at 64+ bytes per slot
+  /// exhausts memory long before the index space). Both are asserted.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSeqBits = 40;
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+
+  static constexpr std::uint32_t slot_of(std::uint64_t seqslot) {
+    return static_cast<std::uint32_t>(seqslot & kSlotMask);
+  }
+
+  /// Timer slots are one InlineCallable each (a single cache line). They
+  /// live in fixed-size chunks (stable addresses, one allocation per 256
+  /// slots) and are recycled through a free list. Each slot's *current*
+  /// packed identity is mirrored in a separate dense array (`slot_seq_`):
+  /// stale-entry checks in the heap paths touch 8 bytes per probe instead
+  /// of a whole slot line, and because sequence numbers never repeat, a
+  /// stale heap entry or handle can never resurrect a reused slot (the
+  /// classic generation-tag scheme with the tag folded into the seq).
+  static constexpr std::uint32_t kSlotChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kSlotChunkMask = (1u << kSlotChunkShift) - 1;
+
+  [[nodiscard]] detail::InlineCallable& slot(std::uint32_t i) {
+    return slot_chunks_[i >> kSlotChunkShift][i & kSlotChunkMask];
+  }
+
+  /// Strict (time, seq) ordering — the FIFO tie-break at equal timestamps
+  /// (seq occupies the packed word's high bits, so comparing the words
+  /// compares seqs).
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seqslot < b.seqslot;
+  }
+
+  [[nodiscard]] bool stale(const Entry& e) const {
+    return slot_seq_[slot_of(e.seqslot)] != e.seqslot;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_push(Entry e);
+  void heap_pop_front();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Drops all stale entries and re-heapifies; called when cancelled
+  /// entries exceed the live ones (so amortised O(1) per cancel).
+  void compact();
+
+  static constexpr std::size_t kArity = 4;
+
+  std::vector<Entry> heap_;
+  // slab_ must outlive slot_chunks_: slot destructors return their slab
+  // blocks (members are destroyed in reverse declaration order).
+  detail::CallableSlab slab_;
+  std::vector<std::unique_ptr<detail::InlineCallable[]>> slot_chunks_;
+  std::uint32_t slot_count_ = 0;  ///< slots constructed across all chunks
+  /// Packed identity of each slot's current occupant (0 when free).
+  std::vector<std::uint64_t> slot_seq_;
+  std::vector<std::uint32_t> free_slots_;
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
 };
 
 }  // namespace rtec

@@ -1,8 +1,7 @@
 #pragma once
 
+#include <deque>
 #include <functional>
-#include <memory>
-#include <vector>
 
 /// \file task_pool.hpp
 /// Stable storage for self-rescheduling callables.
@@ -29,16 +28,14 @@ namespace rtec {
 
 class TaskPool {
  public:
-  /// Allocates an empty callable with a stable address.
-  std::function<void()>* make() {
-    pool_.push_back(std::make_unique<std::function<void()>>());
-    return pool_.back().get();
-  }
+  /// Allocates an empty callable with a stable address (deque storage:
+  /// existing elements never relocate when the pool grows).
+  std::function<void()>* make() { return &pool_.emplace_back(); }
 
   [[nodiscard]] std::size_t size() const { return pool_.size(); }
 
  private:
-  std::vector<std::unique_ptr<std::function<void()>>> pool_;
+  std::deque<std::function<void()>> pool_;
 };
 
 }  // namespace rtec

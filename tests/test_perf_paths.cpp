@@ -1,0 +1,194 @@
+// Tests for the PR-2 hot-path optimisations: the cached mailbox wire-bit
+// count (and its invalidation rule) and the deque-backed TaskPool.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "canbus/bus.hpp"
+#include "canbus/controller.hpp"
+#include "canbus/frame.hpp"
+#include "sim/simulator.hpp"
+#include "util/task_pool.hpp"
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ms;
+
+CanFrame frame_with(std::uint32_t id, int dlc, std::uint8_t fill) {
+  CanFrame f;
+  f.id = id;
+  f.dlc = static_cast<std::uint8_t>(dlc);
+  for (int i = 0; i < dlc; ++i) f.data[static_cast<std::size_t>(i)] = fill;
+  return f;
+}
+
+TEST(MailboxWireBits, MatchesFrameWireBits) {
+  Simulator sim;
+  CanController ctl{sim, 1};
+  for (int dlc : {0, 1, 4, 8}) {
+    const CanFrame f = frame_with(0x2A0u + static_cast<std::uint32_t>(dlc),
+                                  dlc, 0x55);
+    auto mb = ctl.submit(f, TxMode::kSingleShot);
+    ASSERT_TRUE(mb.has_value());
+    EXPECT_EQ(ctl.mailbox_wire_bits(*mb), frame_wire_bits(f));
+    // Second call hits the cache; value must be identical.
+    EXPECT_EQ(ctl.mailbox_wire_bits(*mb), frame_wire_bits(f));
+    ASSERT_TRUE(ctl.abort(*mb));
+  }
+}
+
+TEST(MailboxWireBits, RewriteIdInvalidatesCache) {
+  Simulator sim;
+  CanController ctl{sim, 1};
+  // Choose a payload where the arbitration-field bits change the stuffing
+  // outcome: all-zero extended id vs a mixed one.
+  const CanFrame f = frame_with(0x00000000u, 8, 0x00);
+  auto mb = ctl.submit(f, TxMode::kAutoRetransmit);
+  ASSERT_TRUE(mb.has_value());
+  const int before = ctl.mailbox_wire_bits(*mb);
+  EXPECT_EQ(before, frame_wire_bits(f));
+
+  const std::uint32_t new_id = 0x15555555u;
+  ASSERT_TRUE(ctl.rewrite_id(*mb, new_id));
+  CanFrame rewritten = f;
+  rewritten.id = new_id;
+  const int after = ctl.mailbox_wire_bits(*mb);
+  EXPECT_EQ(after, frame_wire_bits(rewritten));
+  // The all-dominant id maximises stuffing; the rewritten one must differ —
+  // this is what catches a stale cache.
+  EXPECT_NE(before, after);
+}
+
+TEST(MailboxWireBits, MailboxReuseRecomputes) {
+  Simulator sim;
+  CanController ctl{sim, 1};
+  const CanFrame small = frame_with(0x100u, 0, 0);
+  const CanFrame big = frame_with(0x100u, 8, 0xFF);
+
+  auto mb1 = ctl.submit(small, TxMode::kSingleShot);
+  ASSERT_TRUE(mb1.has_value());
+  const int small_bits = ctl.mailbox_wire_bits(*mb1);
+  ASSERT_TRUE(ctl.abort(*mb1));
+
+  // Resubmitting into the now-free mailbox must not see the old cache.
+  auto mb2 = ctl.submit(big, TxMode::kSingleShot);
+  ASSERT_TRUE(mb2.has_value());
+  EXPECT_EQ(*mb1, *mb2);  // same physical mailbox recycled
+  EXPECT_EQ(ctl.mailbox_wire_bits(*mb2), frame_wire_bits(big));
+  EXPECT_NE(ctl.mailbox_wire_bits(*mb2), small_bits);
+}
+
+TEST(MailboxWireBits, BusTimingUnchangedByCache) {
+  // End-to-end: the bus must compute the same end-of-frame times as the
+  // uncached serialization (timing is derived from the same bit count).
+  Simulator sim;
+  CanBus bus{sim, BusConfig{}};
+  CanController tx{sim, 1};
+  CanController rx{sim, 2};
+  bus.attach(tx);
+  bus.attach(rx);
+  const CanFrame f = frame_with(0x321u, 6, 0xA5);
+  TimePoint eof = TimePoint::origin();
+  int got = 0;
+  rx.add_rx_listener([&](const CanFrame&, TimePoint t) {
+    eof = t;
+    ++got;
+  });
+  ASSERT_TRUE(tx.submit(f, TxMode::kAutoRetransmit).has_value());
+  sim.run();
+  ASSERT_EQ(got, 1);
+  const Duration expected = BusConfig{}.bit_time() * frame_wire_bits(f);
+  EXPECT_EQ((eof - TimePoint::origin()).ns(), expected.ns());
+}
+
+// The memoised arbitration candidate must track every mailbox state change
+// (submit / abort / rewrite_id / release) — a stale cache would change
+// arbitration winners and therefore whole traces.
+TEST(ArbitrationCandidate, CacheTracksMailboxChanges) {
+  Simulator sim;
+  CanController ctl{sim, 1, CanController::Config{.tx_mailboxes = 4}};
+
+  EXPECT_FALSE(ctl.arbitration_candidate().has_value());
+
+  auto hi = ctl.submit(frame_with(0x300, 1, 0x11), TxMode::kSingleShot);
+  ASSERT_TRUE(hi.has_value());
+  ASSERT_TRUE(ctl.arbitration_candidate().has_value());
+  EXPECT_EQ(*ctl.arbitration_candidate(), *hi);
+
+  // A lower identifier must displace the cached winner immediately.
+  auto lo = ctl.submit(frame_with(0x100, 1, 0x22), TxMode::kSingleShot);
+  ASSERT_TRUE(lo.has_value());
+  EXPECT_EQ(*ctl.arbitration_candidate(), *lo);
+
+  // Rewriting the loser below the winner must flip the candidate.
+  ASSERT_TRUE(ctl.rewrite_id(*hi, 0x050));
+  EXPECT_EQ(*ctl.arbitration_candidate(), *hi);
+
+  // Aborting the winner must fall back to the remaining mailbox.
+  ASSERT_TRUE(ctl.abort(*hi));
+  EXPECT_EQ(*ctl.arbitration_candidate(), *lo);
+
+  ASSERT_TRUE(ctl.abort(*lo));
+  EXPECT_FALSE(ctl.arbitration_candidate().has_value());
+}
+
+TEST(ArbitrationCandidate, CandidateClearedWhenMailboxFires) {
+  Simulator sim;
+  CanBus bus{sim, BusConfig{}};
+  CanController ctl{sim, 1};
+  bus.attach(ctl);
+  int results = 0;
+  auto mb = ctl.submit(frame_with(0x123, 4, 0xAB), TxMode::kSingleShot,
+                       [&](auto, const CanFrame&, bool ok, TimePoint) {
+                         EXPECT_TRUE(ok);
+                         ++results;
+                       });
+  ASSERT_TRUE(mb.has_value());
+  sim.run();
+  EXPECT_EQ(results, 1);
+  // The transmission released the mailbox; the cache must not resurrect it.
+  EXPECT_FALSE(ctl.arbitration_candidate().has_value());
+}
+
+TEST(FrameTailBits, ConstantMatchesCanSpec) {
+  // CRC delimiter + ACK slot + ACK delimiter + 7-bit EOF.
+  EXPECT_EQ(kFrameTailBits, 10);
+}
+
+TEST(TaskPool, AddressesStableAcrossGrowth) {
+  TaskPool pool;
+  std::vector<std::function<void()>*> ptrs;
+  int counter = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto* t = pool.make();
+    *t = [&counter] { ++counter; };
+    ptrs.push_back(t);
+  }
+  EXPECT_EQ(pool.size(), 1000u);
+  // Every pointer handed out earlier must still be valid and callable.
+  for (auto* t : ptrs) (*t)();
+  EXPECT_EQ(counter, 1000);
+}
+
+TEST(TaskPool, SelfReschedulingTaskSurvivesPoolGrowth) {
+  Simulator sim;
+  TaskPool pool;
+  int ticks = 0;
+  auto* loop = pool.make();
+  *loop = [&] {
+    ++ticks;
+    // Grow the pool from inside the task — the `loop` pointer must stay
+    // valid (deque storage never relocates existing elements).
+    *pool.make() = [] {};
+    if (ticks < 5) sim.schedule_after(1_ms, [loop] { (*loop)(); });
+  };
+  (*loop)();
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(pool.size(), 6u);
+}
+
+}  // namespace
+}  // namespace rtec

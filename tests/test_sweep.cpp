@@ -1,0 +1,129 @@
+// Tests for the parallel sweep harness (bench/sweep.hpp): results must be
+// byte-identical regardless of worker-thread count — parallelism may only
+// change wall time, never output.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/sweep.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+#include "util/time_types.hpp"
+
+namespace rtec {
+namespace {
+
+/// One deterministic sweep point: a self-contained simulation seeded by the
+/// point index. Mirrors how the experiment harnesses use sweep(): each point
+/// owns all its mutable state, so points are trivially thread-safe.
+struct PointResult {
+  std::uint64_t digest = 0;
+  std::int64_t final_now_ns = 0;
+  bool operator==(const PointResult&) const = default;
+};
+
+PointResult run_point(std::size_t index) {
+  Simulator sim;
+  Rng rng{0xBEEF0000ULL + index};
+  PointResult r;
+  // A small reentrant event cascade: each fired event folds (label, now)
+  // into the digest and occasionally schedules a follower.
+  std::function<void(int)> arm = [&](int label) {
+    sim.schedule_after(Duration::nanoseconds(rng.uniform_int(1, 5'000)),
+                       [&, label] {
+                         constexpr std::uint64_t kFnvPrime = 1099511628211u;
+                         r.digest = (r.digest * kFnvPrime) ^
+                                    static_cast<std::uint64_t>(label);
+                         r.digest ^=
+                             static_cast<std::uint64_t>(sim.now().ns()) << 17;
+                         if (label < 200) arm(label + 3);
+                       });
+  };
+  for (int i = 0; i < 50; ++i) arm(i);
+  sim.run();
+  r.final_now_ns = sim.now().ns();
+  return r;
+}
+
+TEST(Sweep, ResultsAreIndexOrdered) {
+  const auto out =
+      bench::sweep(16, [](std::size_t i) { return static_cast<int>(i * i); },
+                   /*threads=*/3);
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(Sweep, ByteIdenticalAcrossThreadCounts) {
+  // Acceptance criterion: per-point results are byte-identical with 1
+  // worker vs N workers. Compare both the raw results and the serialized
+  // BENCH rows they would produce.
+  constexpr std::size_t kPoints = 12;
+  const auto serial = bench::sweep(kPoints, run_point, /*threads=*/1);
+  const auto parallel4 = bench::sweep(kPoints, run_point, /*threads=*/4);
+  const auto parallel7 = bench::sweep(kPoints, run_point, /*threads=*/7);
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_EQ(serial, parallel7);
+
+  auto rows_of = [](const std::vector<PointResult>& pts) {
+    bench::BenchJson bj{"sweep_test"};
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      bj.row({{"point", static_cast<double>(i)},
+              {"digest", static_cast<double>(pts[i].digest)},
+              {"final_now_ns", static_cast<double>(pts[i].final_now_ns)}});
+    return bj.rows_json();
+  };
+  EXPECT_EQ(rows_of(serial), rows_of(parallel4));
+  EXPECT_EQ(rows_of(serial), rows_of(parallel7));
+}
+
+TEST(Sweep, MoreWorkersThanPointsIsFine) {
+  const auto out = bench::sweep(
+      3, [](std::size_t i) { return static_cast<int>(i) + 1; },
+      /*threads=*/32);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sweep, ZeroPointsReturnsEmpty) {
+  const auto out =
+      bench::sweep(0, [](std::size_t) { return 1; }, /*threads=*/4);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Sweep, ExplicitThreadCountWins) {
+  // threads=1 must force the serial path regardless of environment.
+  EXPECT_EQ(bench::sweep_threads(1), 1u);
+  EXPECT_EQ(bench::sweep_threads(5), 5u);
+  EXPECT_GE(bench::sweep_threads(0), 1u);
+}
+
+TEST(BenchJson, SerializesRowsAndMetaDeterministically) {
+  bench::BenchJson bj{"unit"};
+  bj.meta("threads", 4.0);
+  bj.meta("mode", "quick \"q\"");
+  bj.row({{"x", 1.0}, {"y", 0.5}});
+  bj.row({{"x", 2.0}, {"y", 0.25}});
+  const std::string json = bj.to_json();
+  EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"quick \\\"q\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("{\"x\": 1, \"y\": 0.5}"), std::string::npos);
+  EXPECT_NE(json.find("{\"x\": 2, \"y\": 0.25}"), std::string::npos);
+  // rows_json() is a strict substring of the full document.
+  EXPECT_NE(json.find(bj.rows_json()), std::string::npos);
+}
+
+TEST(BenchJson, RoundTripsDoublesExactly) {
+  bench::BenchJson bj{"precision"};
+  const double v = 0.1 + 0.2;  // classic non-representable sum
+  bj.row({{"v", v}});
+  const std::string rows = bj.rows_json();
+  // %.17g prints enough digits to round-trip any double bit-exactly.
+  EXPECT_NE(rows.find("0.30000000000000004"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtec
