@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-review/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "tier1;examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_automotive "/root/repo/build-review/examples/automotive")
+set_tests_properties(example_automotive PROPERTIES  LABELS "tier1;examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_factory_cell "/root/repo/build-review/examples/factory_cell")
+set_tests_properties(example_factory_cell PROPERTIES  LABELS "tier1;examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fault_tolerance "/root/repo/build-review/examples/fault_tolerance")
+set_tests_properties(example_fault_tolerance PROPERTIES  LABELS "tier1;examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_network "/root/repo/build-review/examples/multi_network")
+set_tests_properties(example_multi_network PROPERTIES  LABELS "tier1;examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_plan_calendar "/root/repo/build-review/examples/plan_calendar")
+set_tests_properties(example_plan_calendar PROPERTIES  LABELS "tier1;examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bus_analyzer "/root/repo/build-review/examples/bus_analyzer" "--demo")
+set_tests_properties(example_bus_analyzer PROPERTIES  LABELS "tier1;examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_plan_then_lint "/usr/bin/cmake" "-DPLANNER=/root/repo/build-review/examples/plan_calendar" "-DLINTER=/root/repo/build-review/tools/rtec_lint" "-DWORK_DIR=/root/repo/build-review/examples" "-P" "/root/repo/examples/plan_then_lint.cmake")
+set_tests_properties(example_plan_then_lint PROPERTIES  LABELS "tier1;examples;lint" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lint_cli_clean "/root/repo/build-review/tools/rtec_lint" "--precision-ns" "33000" "/root/repo/tools/fixtures/demo.cal")
+set_tests_properties(lint_cli_clean PROPERTIES  LABELS "tier1;lint" PASS_REGULAR_EXPRESSION "ACCEPT: 0 error" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint_cli_scenario "/root/repo/build-review/tools/rtec_lint" "--scenario" "/root/repo/tools/fixtures/demo.scn" "/root/repo/tools/fixtures/demo.cal")
+set_tests_properties(lint_cli_scenario PROPERTIES  LABELS "tier1;lint" PASS_REGULAR_EXPRESSION "ACCEPT: 0 error" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint_cli_rejects_overlap_json "/root/repo/build-review/tools/rtec_lint" "--json" "/root/repo/tools/fixtures/bad_overlap.cal")
+set_tests_properties(lint_cli_rejects_overlap_json PROPERTIES  LABELS "tier1;lint" PASS_REGULAR_EXPRESSION "\"verdict\": \"reject\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint_cli_exit_code_gates "/root/repo/build-review/tools/rtec_lint" "/root/repo/tools/fixtures/bad_overlap.cal")
+set_tests_properties(lint_cli_exit_code_gates PROPERTIES  LABELS "tier1;lint" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
