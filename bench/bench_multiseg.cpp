@@ -1,0 +1,270 @@
+// Parallel multi-segment engine: wall-time of a gateway-connected chain of
+// CAN segments under the sequential single-kernel run vs the sharded
+// conservative engine (one kernel per segment, Config::shards). Both runs
+// simulate the identical workload — and produce bit-identical frame traces
+// (tests/test_multiseg.cpp) — so the speedup column isolates the engine.
+//
+// Points run SERIALLY (never on the sweep pool): the parallel engine's own
+// worker threads are the thing being measured, so nothing else may compete
+// for cores. RTEC_BENCH_THREADS caps the engine's worker count (default:
+// one per segment, up to the hardware). RTEC_BENCH_QUICK=1 shrinks the
+// grid for CI smoke runs. Speedup is meaningless on 1-core hosts — the
+// `host_cpus` metadata records what the numbers were measured on.
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/sweep.hpp"
+#include "core/gateway.hpp"
+#include "core/hrtec.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "time/periodic.hpp"
+#include "util/random.hpp"
+#include "util/task_pool.hpp"
+
+using namespace rtec;
+using namespace rtec::literals;
+
+namespace {
+
+struct Run {
+  double wall_s = 0;
+  double frames = 0;
+  double epochs = 0;
+  double handoffs = 0;
+};
+
+/// Chain of `segments` segments, `nodes_per_seg` nodes each: per-segment
+/// clock sync + SRT Poisson chatter (~40% of each bus) + one HRT stream
+/// per 4 nodes, and one bridged SRT subject per gateway link so traffic
+/// continuously crosses shard boundaries.
+Run run_chain(int segments, int nodes_per_seg, int shards, unsigned threads,
+              Duration sim_time) {
+  TaskPool pool;
+  Scenario::Config cfg;
+  cfg.networks = segments;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.calendar.round_length = 10_ms;
+  Scenario scn{cfg};
+  Rng setup_rng{static_cast<std::uint64_t>(segments * 1000 + nodes_per_seg)};
+
+  // Node ids are 7-bit (kMaxNodeId = 127): regular nodes fill 1..96,
+  // gateway stacks sit at 100+ — which bounds the grid to 8 segments of
+  // at most 12 nodes.
+  assert(segments * nodes_per_seg <= 96 && segments <= 8);
+  const auto node_id = [nodes_per_seg](int net, int k) {
+    return static_cast<NodeId>(net * nodes_per_seg + k + 1);
+  };
+  for (int net = 0; net < segments; ++net) {
+    for (int k = 0; k < nodes_per_seg; ++k) {
+      Node::ClockParams p;
+      p.initial_offset = Duration::microseconds(setup_rng.uniform_int(-20, 20));
+      p.drift_ppb = setup_rng.uniform_int(-80'000, 80'000);
+      p.granularity = 1_us;
+      scn.add_node(node_id(net, k), p, net);
+    }
+  }
+
+  std::vector<std::unique_ptr<Gateway>> gateways;
+  std::vector<std::unique_ptr<Srtec>> stacks;
+  std::vector<std::unique_ptr<PeriodicLocalTask>> tasks;
+  for (int l = 0; l + 1 < segments; ++l) {
+    Node& ga = scn.add_node(static_cast<NodeId>(100 + 2 * l), {}, l);
+    Node& gb = scn.add_node(static_cast<NodeId>(101 + 2 * l), {}, l + 1);
+    gateways.push_back(std::make_unique<Gateway>(
+        ga, gb, scn.link_gateway(ga, gb, /*forward latency*/ 250_us)));
+    const Subject subj = subject_of("multiseg/x" + std::to_string(l));
+    (void)gateways.back()->bridge_srt(subj, 10_ms, 30_ms);
+    stacks.push_back(std::make_unique<Srtec>(
+        scn.node(node_id(l, 0)).middleware()));
+    Srtec* pub = stacks.back().get();
+    (void)pub->announce(subj, AttributeList{attr::Deadline{10_ms}}, nullptr);
+    stacks.push_back(std::make_unique<Srtec>(
+        scn.node(node_id(l + 1, 1)).middleware()));
+    Srtec* sub = stacks.back().get();
+    (void)sub->subscribe(subj, {}, [sub] { (void)sub->getEvent(); }, nullptr);
+    tasks.push_back(std::make_unique<PeriodicLocalTask>(
+        scn.node(node_id(l, 0)).clock(), 5_ms, [pub] {
+          Event e;
+          e.content = {0xC5, 0x01};
+          (void)pub->publish(std::move(e));
+        }));
+    tasks.back()->start();
+  }
+
+  for (int net = 0; net < segments; ++net)
+    (void)scn.enable_clock_sync(node_id(net, nodes_per_seg - 1), 500_us);
+
+  // One HRT stream per 4 nodes, per segment.
+  std::vector<std::unique_ptr<Hrtec>> hrt;
+  for (int net = 0; net < segments; ++net) {
+    for (int i = 0; i < nodes_per_seg / 4; ++i) {
+      const std::string name =
+          "multiseg/h" + std::to_string(net) + "_" + std::to_string(i);
+      const Etag etag = *scn.binding().bind(subject_of(name));
+      SlotSpec slot;
+      slot.lst_offset = 1_ms + Duration::microseconds(600) * i;
+      slot.dlc = 8;
+      slot.etag = etag;
+      slot.publisher = node_id(net, i);
+      if (!scn.calendar(net).reserve(slot).has_value()) break;
+      hrt.push_back(
+          std::make_unique<Hrtec>(scn.node(node_id(net, i)).middleware()));
+      Hrtec* pub = hrt.back().get();
+      (void)pub->announce(subject_of(name), {}, nullptr);
+      hrt.push_back(std::make_unique<Hrtec>(
+          scn.node(node_id(net, nodes_per_seg - 1 - i % 4)).middleware()));
+      Hrtec* sub = hrt.back().get();
+      (void)sub->subscribe(subject_of(name),
+                           AttributeList{attr::QueueCapacity{4}},
+                           [sub] { (void)sub->getEvent(); }, nullptr);
+      tasks.push_back(std::make_unique<PeriodicLocalTask>(
+          scn.node(node_id(net, i)).clock(), 10_ms, [pub] {
+            Event e;
+            e.content = {1, 2, 3, 4, 5, 6, 7, 8};
+            (void)pub->publish(std::move(e));
+          }));
+      tasks.back()->start();
+    }
+  }
+
+  // SRT chatter at ~40% aggregate load per segment, per-segment Rng so the
+  // draw sequences are shard-invariant.
+  std::vector<std::unique_ptr<Rng>> seg_rngs;
+  for (int net = 0; net < segments; ++net)
+    seg_rngs.push_back(
+        std::make_unique<Rng>(static_cast<std::uint64_t>(net) * 77 + 13));
+  const double mean_gap_ns = 160e3 * nodes_per_seg / 0.4;
+  for (int net = 0; net < segments; ++net) {
+    for (int k = 0; k < nodes_per_seg; ++k) {
+      const std::string name =
+          "multiseg/s" + std::to_string(net) + "_" + std::to_string(k);
+      stacks.push_back(std::make_unique<Srtec>(
+          scn.node(node_id(net, k)).middleware()));
+      Srtec* pub = stacks.back().get();
+      (void)pub->announce(subject_of(name), AttributeList{attr::Deadline{20_ms}},
+                          nullptr);
+      Simulator* sim = &scn.segment_sim(net);
+      Rng* rng = seg_rngs[static_cast<std::size_t>(net)].get();
+      auto* loop = pool.make();
+      *loop = [pub, sim, rng, mean_gap_ns, loop] {
+        Event e;
+        e.content = {0xA5};
+        (void)pub->publish(std::move(e));
+        sim->schedule_after(Duration::nanoseconds(static_cast<std::int64_t>(
+                                rng->exponential(mean_gap_ns))),
+                            [loop] { (*loop)(); });
+      };
+      sim->schedule_after(
+          Duration::microseconds(setup_rng.uniform_int(0, 2000)),
+          [loop] { (*loop)(); });
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  scn.run_for(sim_time);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Run r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  for (int net = 0; net < segments; ++net)
+    r.frames += static_cast<double>(scn.bus(net).frames_ok() +
+                                    scn.bus(net).frames_error());
+  r.epochs = static_cast<double>(scn.shard_engine().stats().epochs);
+  r.handoffs = static_cast<double>(scn.shard_engine().stats().handoffs);
+  return r;
+}
+
+Run median_of(int reps, const std::function<Run()>& fn) {
+  std::vector<Run> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) runs.push_back(fn());
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.wall_s < b.wall_s; });
+  return runs[runs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = bench::quick_mode();
+  const Duration sim_time =
+      quick ? Duration::seconds(1) : Duration::seconds(4);
+  const int nodes_per_seg = quick ? 8 : 12;
+  const int reps = quick ? 1 : 3;
+  const std::vector<int> seg_counts =
+      quick ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  bench::title("multiseg", "sharded engine vs single kernel, chain topology");
+  bench::note("%lld simulated seconds, %d nodes/segment; per-segment clock",
+              static_cast<long long>(sim_time.ns() / 1'000'000'000),
+              nodes_per_seg);
+  bench::note("sync, ~40%% SRT load + HRT streams, bridged SRT across every");
+  bench::note("gateway (250 us forward latency = lookahead); %u host cpus",
+              hw);
+
+  bench::BenchJson bj{"multiseg"};
+  bj.meta("generated_by", "bench_multiseg");
+  bj.meta("sim_seconds", sim_time.sec());
+  bj.meta("quick", quick ? 1.0 : 0.0);
+  bj.meta("nodes_per_seg", static_cast<double>(nodes_per_seg));
+  bj.meta("reps", static_cast<double>(reps));
+  bj.meta("host_cpus", static_cast<double>(hw));
+
+  std::printf("\n  %-5s %-7s %-9s %-10s %-9s %-10s %-8s %s\n", "segs",
+              "nodes", "frames", "seq (s)", "par (s)", "par fps", "speedup",
+              "epochs");
+  bench::rule();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const int segments : seg_counts) {
+    // Engine worker threads: RTEC_BENCH_THREADS caps them (CI pins 2);
+    // default is one per segment up to the host's cores.
+    const unsigned threads =
+        std::min(bench::sweep_threads(), static_cast<unsigned>(segments));
+    const Run seq = median_of(reps, [&] {
+      return run_chain(segments, nodes_per_seg, /*shards=*/1, /*threads=*/1,
+                       sim_time);
+    });
+    const Run par = median_of(reps, [&] {
+      return run_chain(segments, nodes_per_seg, /*shards=*/segments, threads,
+                       sim_time);
+    });
+    const double speedup = seq.wall_s / par.wall_s;
+    const double fps_seq = seq.frames / seq.wall_s;
+    const double fps_par = par.frames / par.wall_s;
+    std::printf("  %-5d %-7d %-9.0f %-10.3f %-9.3f %-10.0f %-8.2f %.0f\n",
+                segments, segments * nodes_per_seg, par.frames, seq.wall_s,
+                par.wall_s, fps_par, speedup, par.epochs);
+    bj.row({{"segments", static_cast<double>(segments)},
+            {"nodes_per_seg", static_cast<double>(nodes_per_seg)},
+            {"threads", static_cast<double>(threads)},
+            {"frames", par.frames},
+            {"wall_s_seq", seq.wall_s},
+            {"fps_seq", fps_seq},
+            {"wall_s_par", par.wall_s},
+            {"fps_par", fps_par},
+            {"speedup", speedup},
+            {"epochs", par.epochs},
+            {"handoffs", par.handoffs}});
+  }
+  bench::rule();
+  bj.meta("wall_s_total",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+  if (!bj.write()) bench::note("warning: could not write BENCH_multiseg.json");
+  bench::note("sequential and sharded runs execute the identical event");
+  bench::note("sequence (tests/test_multiseg.cpp proves bit-equality); the");
+  bench::note("speedup column is pure engine overhead/parallelism. On a");
+  bench::note("single-core host expect speedup <= 1 (epoch overhead only).");
+  return 0;
+}

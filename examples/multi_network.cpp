@@ -31,10 +31,10 @@ int main() {
   Node& scada = scn.add_node(12, {Duration::microseconds(-2), -8'000, 1_us}, 1);
   Node& gw_cell = scn.add_node(20, {}, 0);
   Node& gw_plant = scn.add_node(21, {}, 1);
-  scn.register_gateway(20, 0);
-  scn.register_gateway(21, 1);
 
-  Gateway gateway{gw_cell, gw_plant};
+  // Store-and-forward delay of the bridging stack; with a sharded
+  // scenario this would double as the parallel engine's lookahead.
+  Gateway gateway{gw_cell, gw_plant, scn.link_gateway(gw_cell, gw_plant, 50_us)};
   const Subject status = subject_of("press/status");
   const Subject logfile = subject_of("press/logfile");
   if (!gateway.bridge_srt(status, /*fwd deadline*/ 10_ms, /*expiry*/ 30_ms) ||

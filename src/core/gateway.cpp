@@ -1,51 +1,65 @@
 #include "core/gateway.hpp"
 
+#include <utility>
+
 namespace rtec {
 
 Expected<void, ChannelError> Gateway::bridge_srt(Subject subject,
                                                  Duration fwd_deadline,
                                                  Duration fwd_expiration) {
-  const auto ab = make_srt_half(a_, b_, subject, fwd_deadline, fwd_expiration,
-                                &Counters::forwarded_a_to_b);
+  const auto ab = make_srt_half(a_, b_, *link_.a_to_b, subject, fwd_deadline,
+                                fwd_expiration, dir_a_to_b_);
   if (!ab) return ab;
-  return make_srt_half(b_, a_, subject, fwd_deadline, fwd_expiration,
-                       &Counters::forwarded_b_to_a);
+  return make_srt_half(b_, a_, *link_.b_to_a, subject, fwd_deadline,
+                       fwd_expiration, dir_b_to_a_);
 }
 
 Expected<void, ChannelError> Gateway::make_srt_half(
-    Node& from, Node& to, Subject subject, Duration fwd_deadline,
-    Duration fwd_expiration, std::uint64_t Counters::*counter) {
+    Node& from, Node& to, HandoffChannel& chan, Subject subject,
+    Duration fwd_deadline, Duration fwd_expiration, DirectionCounters& dir) {
   auto bridge = std::make_unique<SrtBridge>();
   bridge->sub = std::make_unique<Srtec>(from.middleware());
   bridge->pub = std::make_unique<Srtec>(to.middleware());
 
+  // The exception handler runs in the publish (destination) segment's
+  // context — the same single-writer context as dir's success counter.
   const auto announced = bridge->pub->announce(
       subject,
       AttributeList{attr::Deadline{fwd_deadline},
                     attr::Expiration{fwd_expiration}},
-      [this](const ExceptionInfo&) { ++counters_.forward_failures; });
+      [&dir](const ExceptionInfo&) { ++dir.failures; });
   if (!announced) return announced;
 
   Srtec* sub = bridge->sub.get();
   Srtec* pub = bridge->pub.get();
+  Simulator* from_sim = &from.middleware().context().sim;
   // LocalOnly is essential on the gateway's own subscription: without it
   // the A-side gateway stack would pick up events forwarded *into* A by
   // the B→A half and bounce them back (a two-gateway loop; with one
   // gateway object the sender-exclusion already prevents it, but the
   // filter keeps the design loop-free for any topology).
+  //
+  // Draining the delivery queue in one pass keeps FIFO order: each event
+  // gets the channel's next sequence number and the same deterministic
+  // release stamp (delivery time + forward latency), so bursts delivered
+  // in one slot are re-published on the far side in arrival order.
   const auto subscribed = bridge->sub->subscribe(
       subject, AttributeList{attr::LocalOnly{}},
-      [this, sub, pub, counter] {
+      [sub, pub, &chan, &dir, from_sim] {
         while (auto event = sub->getEvent()) {
-          Event fwd;
-          fwd.content = std::move(event->content);
-          // Fresh timing attributes on the destination segment's timeline
-          // come from the publish-side channel defaults.
-          if (pub->publish(std::move(fwd))) {
-            ++(counters_.*counter);
-          } else {
-            ++counters_.forward_failures;
-          }
+          chan.post(from_sim->now(),
+                    [pub, &dir, content = std::move(event->content)]() mutable {
+                      Event fwd;
+                      fwd.content = std::move(content);
+                      // Fresh timing attributes on the destination
+                      // segment's timeline come from the publish-side
+                      // channel defaults.
+                      if (pub->publish(std::move(fwd))) {
+                        ++dir.forwarded;
+                      } else {
+                        ++dir.failures;
+                      }
+                    });
         }
       },
       nullptr);
@@ -58,16 +72,16 @@ Expected<void, ChannelError> Gateway::make_srt_half(
 Expected<void, ChannelError> Gateway::bridge_nrt(Subject subject,
                                                  bool fragmented,
                                                  Priority priority) {
-  const auto ab = make_nrt_half(a_, b_, subject, fragmented, priority,
-                                &Counters::forwarded_a_to_b);
+  const auto ab = make_nrt_half(a_, b_, *link_.a_to_b, subject, fragmented,
+                                priority, dir_a_to_b_);
   if (!ab) return ab;
-  return make_nrt_half(b_, a_, subject, fragmented, priority,
-                       &Counters::forwarded_b_to_a);
+  return make_nrt_half(b_, a_, *link_.b_to_a, subject, fragmented, priority,
+                       dir_b_to_a_);
 }
 
 Expected<void, ChannelError> Gateway::make_nrt_half(
-    Node& from, Node& to, Subject subject, bool fragmented, Priority priority,
-    std::uint64_t Counters::*counter) {
+    Node& from, Node& to, HandoffChannel& chan, Subject subject,
+    bool fragmented, Priority priority, DirectionCounters& dir) {
   auto bridge = std::make_unique<NrtBridge>();
   bridge->sub = std::make_unique<Nrtec>(from.middleware());
   bridge->pub = std::make_unique<Nrtec>(to.middleware());
@@ -75,25 +89,28 @@ Expected<void, ChannelError> Gateway::make_nrt_half(
   AttributeList attrs{attr::FixedPriority{priority}};
   if (fragmented) attrs.add(attr::Fragmentation{true});
   const auto announced = bridge->pub->announce(
-      subject, attrs,
-      [this](const ExceptionInfo&) { ++counters_.forward_failures; });
+      subject, attrs, [&dir](const ExceptionInfo&) { ++dir.failures; });
   if (!announced) return announced;
 
   Nrtec* sub = bridge->sub.get();
   Nrtec* pub = bridge->pub.get();
+  Simulator* from_sim = &from.middleware().context().sim;
   AttributeList sub_attrs{attr::LocalOnly{}};
   if (fragmented) sub_attrs.add(attr::Fragmentation{true});
   const auto subscribed = bridge->sub->subscribe(
       subject, sub_attrs,
-      [this, sub, pub, counter] {
+      [sub, pub, &chan, &dir, from_sim] {
         while (auto event = sub->getEvent()) {
-          Event fwd;
-          fwd.content = std::move(event->content);
-          if (pub->publish(std::move(fwd))) {
-            ++(counters_.*counter);
-          } else {
-            ++counters_.forward_failures;
-          }
+          chan.post(from_sim->now(),
+                    [pub, &dir, content = std::move(event->content)]() mutable {
+                      Event fwd;
+                      fwd.content = std::move(content);
+                      if (pub->publish(std::move(fwd))) {
+                        ++dir.forwarded;
+                      } else {
+                        ++dir.failures;
+                      }
+                    });
         }
       },
       nullptr);

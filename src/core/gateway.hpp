@@ -6,6 +6,7 @@
 #include "core/node.hpp"
 #include "core/nrtec.hpp"
 #include "core/srtec.hpp"
+#include "sim/handoff.hpp"
 
 /// \file gateway.hpp
 /// Event-channel gateway between two network segments (the architecture
@@ -20,20 +21,42 @@
 /// forwarded event back — bidirectional bridging is loop-free by
 /// construction.
 ///
+/// Forwarding is store-and-forward through a pair of handoff channels
+/// (Scenario::link_gateway): an event delivered to the gateway's
+/// subscriber stack at time t is re-published on the far segment at
+/// exactly t + forward latency, and events delivered in the same slot
+/// keep their delivery (FIFO) order via the channel's sequence numbers.
+/// The deterministic release stamp is what makes the forwarding path
+/// shard-safe: under the parallel engine the publish runs in the far
+/// segment's own execution context, never from the near segment's thread.
+///
 /// Subscribers can exclude forwarded traffic with attr::LocalOnly: the
 /// scenario registers the gateway's TxNode system-wide
-/// (Scenario::register_gateway), and receiving middlewares tag frames
-/// from it as remote-origin. HRT channels are deliberately *not*
-/// bridgeable: a reservation is only meaningful inside one network's
-/// calendar (forward an HRT stream by subscribing at the gateway and
-/// publishing into a slot reserved for the gateway on the other side).
+/// (Scenario::register_gateway / link_gateway), and receiving middlewares
+/// tag frames from it as remote-origin. HRT channels are deliberately
+/// *not* bridgeable: a reservation is only meaningful inside one
+/// network's calendar (forward an HRT stream by subscribing at the
+/// gateway and publishing into a slot reserved for the gateway on the
+/// other side).
 
 namespace rtec {
+
+/// The pair of directed handoff channels one gateway forwards through,
+/// created by Scenario::link_gateway (the scenario knows the segment→shard
+/// partition; the gateway does not).
+struct GatewayLink {
+  HandoffChannel* a_to_b = nullptr;
+  HandoffChannel* b_to_a = nullptr;
+};
 
 class Gateway {
  public:
   /// \param side_a node on network A  \param side_b node on network B
-  Gateway(Node& side_a, Node& side_b) : a_{side_a}, b_{side_b} {}
+  /// \param link  handoff channels from Scenario::link_gateway(a, b, ...)
+  Gateway(Node& side_a, Node& side_b, GatewayLink link)
+      : a_{side_a}, b_{side_b}, link_{link} {
+    assert(link.a_to_b != nullptr && link.b_to_a != nullptr);
+  }
 
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
@@ -57,9 +80,23 @@ class Gateway {
   Expected<void, ChannelError> bridge_nrt(Subject subject, bool fragmented,
                                           Priority priority);
 
-  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Counter snapshot. Per-direction counts are maintained on the
+  /// direction's *destination* shard (single writer each), so the
+  /// composed snapshot is only meaningful between run calls.
+  [[nodiscard]] Counters counters() const {
+    Counters c;
+    c.forwarded_a_to_b = dir_a_to_b_.forwarded;
+    c.forwarded_b_to_a = dir_b_to_a_.forwarded;
+    c.forward_failures = dir_a_to_b_.failures + dir_b_to_a_.failures;
+    return c;
+  }
 
  private:
+  /// Written only from the direction's destination segment context.
+  struct DirectionCounters {
+    std::uint64_t forwarded = 0;
+    std::uint64_t failures = 0;
+  };
   struct SrtBridge {
     std::unique_ptr<Srtec> sub;
     std::unique_ptr<Srtec> pub;
@@ -70,20 +107,24 @@ class Gateway {
   };
 
   Expected<void, ChannelError> make_srt_half(Node& from, Node& to,
+                                             HandoffChannel& chan,
                                              Subject subject,
                                              Duration fwd_deadline,
                                              Duration fwd_expiration,
-                                             std::uint64_t Counters::*counter);
+                                             DirectionCounters& dir);
   Expected<void, ChannelError> make_nrt_half(Node& from, Node& to,
+                                             HandoffChannel& chan,
                                              Subject subject, bool fragmented,
                                              Priority priority,
-                                             std::uint64_t Counters::*counter);
+                                             DirectionCounters& dir);
 
   Node& a_;
   Node& b_;
+  GatewayLink link_;
   std::vector<std::unique_ptr<SrtBridge>> srt_bridges_;
   std::vector<std::unique_ptr<NrtBridge>> nrt_bridges_;
-  Counters counters_;
+  DirectionCounters dir_a_to_b_;
+  DirectionCounters dir_b_to_a_;
 };
 
 }  // namespace rtec

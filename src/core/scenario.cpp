@@ -1,8 +1,10 @@
 #include "core/scenario.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
+#include "core/gateway.hpp"
 #include "sched/calendar_io.hpp"
 
 namespace rtec {
@@ -16,9 +18,44 @@ Calendar::Config with_bus(Calendar::Config cal, BusConfig bus) {
 
 Scenario::Scenario(Config cfg) : cfg_{cfg} {
   assert(cfg.networks >= 1);
+  const int shard_count = std::clamp(cfg.shards, 1, cfg.networks);
+  for (int s = 0; s < shard_count; ++s) {
+    sims_.push_back(std::make_unique<Simulator>());
+    engine_.add_shard(*sims_.back());
+  }
+  engine_.set_threads(cfg.threads == 0 ? static_cast<unsigned>(shard_count)
+                                       : cfg.threads);
   for (int i = 0; i < cfg.networks; ++i)
     networks_.push_back(std::make_unique<Network>(
-        sim_, cfg.bus, with_bus(cfg.calendar, cfg.bus)));
+        segment_sim(i), cfg.bus, with_bus(cfg.calendar, cfg.bus)));
+}
+
+void Scenario::run_until(TimePoint t) {
+  if (sims_.size() == 1) {
+    // Unsharded fast path: gateway channels are unbuffered (they inject
+    // straight into the shared kernel), so the plain kernel loop already
+    // covers everything the engine would do.
+    sims_.front()->run_until(t);
+    return;
+  }
+  engine_.run_until(t);
+}
+
+GatewayLink Scenario::link_gateway(const Node& a, const Node& b,
+                                   Duration forward_latency) {
+  const int net_a = network_of_.at(a.id());
+  const int net_b = network_of_.at(b.id());
+  assert(net_a != net_b && "a gateway bridges two distinct segments");
+  register_gateway(a.id(), net_a);
+  register_gateway(b.id(), net_b);
+  GatewayLink link;
+  link.a_to_b = &engine_.link(static_cast<std::size_t>(shard_of(net_a)),
+                              static_cast<std::size_t>(shard_of(net_b)),
+                              forward_latency);
+  link.b_to_a = &engine_.link(static_cast<std::size_t>(shard_of(net_b)),
+                              static_cast<std::size_t>(shard_of(net_a)),
+                              forward_latency);
+  return link;
 }
 
 void Scenario::set_fault_model(std::unique_ptr<FaultModel> model, int network) {
@@ -55,8 +92,8 @@ Node& Scenario::add_node(NodeId id, Node::ClockParams clock_params,
   Middleware::Config mw_cfg;
   mw_cfg.srt_map = cfg_.srt_map;
   mw_cfg.network_id = static_cast<std::uint8_t>(network);
-  auto node = std::make_unique<Node>(sim_, net.bus, binding_, &net.calendar,
-                                     id, clock_params, mw_cfg);
+  auto node = std::make_unique<Node>(segment_sim(network), net.bus, binding_,
+                                     &net.calendar, id, clock_params, mw_cfg);
   for (NodeId gw : net.gateways) node->middleware().add_gateway_node(gw);
   Node& ref = *node;
   nodes_.emplace(id, std::move(node));
@@ -123,6 +160,22 @@ Duration Scenario::clock_precision() const {
   for (auto it_a = nodes_.begin(); it_a != nodes_.end(); ++it_a) {
     auto it_b = it_a;
     for (++it_b; it_b != nodes_.end(); ++it_b) {
+      const TimePoint a = it_a->second->clock().now();
+      const TimePoint b = it_b->second->clock().now();
+      const Duration d = a > b ? a - b : b - a;
+      if (d > worst) worst = d;
+    }
+  }
+  return worst;
+}
+
+Duration Scenario::clock_precision(int network) const {
+  Duration worst = Duration::zero();
+  for (auto it_a = nodes_.begin(); it_a != nodes_.end(); ++it_a) {
+    if (network_of_.at(it_a->first) != network) continue;
+    auto it_b = it_a;
+    for (++it_b; it_b != nodes_.end(); ++it_b) {
+      if (network_of_.at(it_b->first) != network) continue;
       const TimePoint a = it_a->second->clock().now();
       const TimePoint b = it_b->second->clock().now();
       const Duration d = a > b ? a - b : b - a;

@@ -9,15 +9,26 @@
 #include "canbus/fault.hpp"
 #include "core/node.hpp"
 #include "sched/calendar.hpp"
+#include "sim/shard_engine.hpp"
 
 /// \file scenario.hpp
-/// Scenario — one simulated deployment: the kernel, one or more CAN
+/// Scenario — one simulated deployment: the kernel(s), one or more CAN
 /// network segments (each with its own bus and reservation calendar), the
 /// subject binding registry (global: subjects are system-wide names, as
 /// in the paper's multi-network architecture [12]) and the set of nodes.
 /// All examples, tests and benches build their worlds through this class.
+///
+/// Sharded execution (Config::shards > 1): the segments are partitioned
+/// into contiguous groups, each driven by its own event kernel, and
+/// run_for/run_until dispatch to the conservative parallel engine
+/// (sim/shard_engine.hpp). Segments may then interact ONLY through
+/// handoff channels (link_gateway) — direct cross-segment calls from
+/// simulation callbacks would race and break determinism. Results are
+/// bit-identical to the single-kernel run for any shard/thread count.
 
 namespace rtec {
+
+struct GatewayLink;
 
 class Scenario {
  public:
@@ -31,12 +42,36 @@ class Scenario {
     /// Number of network segments (field buses). Nodes attach to exactly
     /// one; gateways attach to two via core/gateway.hpp.
     int networks = 1;
+    /// Event-kernel shards the segments are partitioned into, clamped to
+    /// [1, networks]. 1 = one shared kernel (the sequential reference);
+    /// `networks` = one kernel per segment (maximum parallelism).
+    int shards = 1;
+    /// Worker threads driving shard epochs; 0 = one per shard. 1 runs the
+    /// sharded scenario sequentially (identical results, no concurrency).
+    unsigned threads = 0;
   };
 
   Scenario() : Scenario(Config{}) {}
   explicit Scenario(Config cfg);
 
-  [[nodiscard]] Simulator& sim() { return sim_; }
+  /// The shared event kernel. Only meaningful while the scenario is
+  /// unsharded (asserted): with shards > 1 there is no single timeline —
+  /// use segment_sim() for per-segment scheduling.
+  [[nodiscard]] Simulator& sim() {
+    assert(sims_.size() == 1);
+    return *sims_.front();
+  }
+  /// The event kernel driving `network`'s shard.
+  [[nodiscard]] Simulator& segment_sim(int network) {
+    return *sims_[static_cast<std::size_t>(shard_of(network))];
+  }
+  /// Shard index a network segment is partitioned into.
+  [[nodiscard]] int shard_of(int network) const {
+    assert(network >= 0 && network < cfg_.networks);
+    return network * static_cast<int>(sims_.size()) / cfg_.networks;
+  }
+  /// The conservative parallel engine (epoch/handoff statistics).
+  [[nodiscard]] const ShardEngine& shard_engine() const { return engine_; }
   [[nodiscard]] int network_count() const { return static_cast<int>(networks_.size()); }
   [[nodiscard]] CanBus& bus(int network = 0) { return networks_.at(static_cast<std::size_t>(network))->bus; }
   [[nodiscard]] Calendar& calendar(int network = 0) { return networks_.at(static_cast<std::size_t>(network))->calendar; }
@@ -79,12 +114,29 @@ class Scenario {
   /// nodes present now and added later.
   void register_gateway(NodeId gateway_node, int network);
 
+  /// Creates the pair of handoff channels a Gateway between nodes `a` and
+  /// `b` forwards through, registers both nodes as gateways on their
+  /// segments, and wires the channels into the shard engine.
+  /// `forward_latency` (> 0) is the gateway's store-and-forward delay: a
+  /// forwarded event is re-published on the far segment exactly that long
+  /// after its delivery to the gateway stack. Across shards it doubles as
+  /// the conservative lookahead, so larger latencies mean coarser (and
+  /// cheaper) synchronization epochs.
+  [[nodiscard]] GatewayLink link_gateway(const Node& a, const Node& b,
+                                         Duration forward_latency);
+
   /// Largest pairwise disagreement of all node clocks right now — the
   /// precision Π that ΔG_min must dominate.
   [[nodiscard]] Duration clock_precision() const;
+  /// Same, restricted to the nodes of one network segment (per-segment
+  /// sync masters keep per-segment precisions; there is no system-wide Π
+  /// guarantee across gateways).
+  [[nodiscard]] Duration clock_precision(int network) const;
 
-  void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
-  void run_until(TimePoint t) { sim_.run_until(t); }
+  void run_for(Duration d) { run_until(now() + d); }
+  void run_until(TimePoint t);
+  /// Current simulation time (all shards agree between run calls).
+  [[nodiscard]] TimePoint now() const { return sims_.front()->now(); }
 
  private:
   struct Network {
@@ -97,7 +149,10 @@ class Scenario {
   };
 
   Config cfg_;
-  Simulator sim_;
+  /// One kernel per shard; every member below may reference them, so they
+  /// are declared first (destroyed last).
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  ShardEngine engine_;
   std::vector<std::unique_ptr<Network>> networks_;
   BindingRegistry binding_;
   std::map<NodeId, std::unique_ptr<Node>> nodes_;

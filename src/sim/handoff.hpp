@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/time_types.hpp"
+
+/// \file handoff.hpp
+/// One-directional FIFO handoff channel between two network segments —
+/// the only way simulation state may cross a segment boundary (gateway
+/// forwarding). Every handoff is stamped with a deterministic release
+/// time, `send time + channel latency`, and a per-channel sequence
+/// number; the destination kernel orders it by (release, channel, seq)
+/// through the injected lane (Simulator::schedule_injected), so delivery
+/// order is a pure function of the handoff's identity.
+///
+/// A channel runs in one of two modes, chosen by the topology partitioner:
+///  * unbuffered — source and destination segments share one kernel; the
+///    handoff is injected immediately (the release time is in that
+///    kernel's future by construction since latency >= 0).
+///  * buffered — the segments live on different shards; the handoff is
+///    appended to a buffer owned by the source shard's thread and injected
+///    by the coordinator at the next epoch barrier. The channel latency is
+///    then the lookahead that makes the barrier placement safe: a handoff
+///    sent at t cannot release before t + latency, so it is always
+///    injected before the destination could possibly reach it.
+///
+/// Threading contract (TSan-verified): post() is called only from the
+/// source shard's execution context; flush() only from the coordinator
+/// between epochs. The epoch barrier orders the two.
+
+namespace rtec {
+
+class HandoffChannel {
+ public:
+  HandoffChannel(Simulator& dest, std::uint32_t id, Duration latency,
+                 bool buffered)
+      : dest_{dest}, id_{id}, latency_{latency}, buffered_{buffered} {
+    assert(latency >= Duration::zero());
+    // A buffered (cross-shard) channel's latency is the engine lookahead;
+    // zero lookahead would stall the conservative coordinator.
+    assert((!buffered || latency > Duration::zero()) &&
+           "cross-shard handoff channels need a positive latency");
+  }
+
+  HandoffChannel(const HandoffChannel&) = delete;
+  HandoffChannel& operator=(const HandoffChannel&) = delete;
+
+  /// Commits one handoff sent at `send_time` (the source segment's current
+  /// simulation time). `cb` runs in the destination segment's context at
+  /// `send_time + latency()`.
+  void post(TimePoint send_time, std::function<void()> cb) {
+    assert(cb);
+    const TimePoint release = send_time + latency_;
+    const std::uint64_t seq = next_seq_++;
+    if (buffered_) {
+      buffer_.push_back(Pending{release, seq, std::move(cb)});
+    } else {
+      dest_.schedule_injected(release, id_, seq, std::move(cb));
+    }
+  }
+
+  /// Injects every buffered handoff into the destination kernel
+  /// (coordinator-only, between epochs).
+  void flush() {
+    for (Pending& p : buffer_)
+      dest_.schedule_injected(p.release, id_, p.seq, std::move(p.cb));
+    buffer_.clear();
+  }
+
+  [[nodiscard]] Duration latency() const { return latency_; }
+  [[nodiscard]] bool buffered() const { return buffered_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  /// Handoffs committed over the channel's lifetime.
+  [[nodiscard]] std::uint64_t posted() const { return next_seq_; }
+  /// Handoffs awaiting injection at the next barrier.
+  [[nodiscard]] std::size_t pending() const { return buffer_.size(); }
+
+ private:
+  struct Pending {
+    TimePoint release;
+    std::uint64_t seq;
+    std::function<void()> cb;
+  };
+
+  Simulator& dest_;
+  std::uint32_t id_;
+  Duration latency_;
+  bool buffered_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Pending> buffer_;
+};
+
+}  // namespace rtec

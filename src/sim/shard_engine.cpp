@@ -1,0 +1,142 @@
+#include "sim/shard_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace rtec {
+
+namespace {
+
+/// Scatter/gather worker pool for one run_until call. Workers pull shard
+/// indices from a shared counter each epoch (shards are independent within
+/// an epoch, so which worker runs which shard cannot affect results) and
+/// the epoch barrier's mutex gives the coordinator↔worker happens-before
+/// edges: channel buffers written by a worker are visible to the
+/// coordinator's flush, and injected events are visible to next epoch's
+/// workers.
+class EpochPool {
+ public:
+  EpochPool(unsigned workers, std::vector<Simulator*>& shards)
+      : shards_{shards} {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+      threads_.emplace_back([this] { worker(); });
+  }
+
+  ~EpochPool() {
+    {
+      const std::lock_guard<std::mutex> lk{m_};
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Executes run_before(h) on every shard; returns when all are done.
+  void run_epoch(TimePoint h) {
+    {
+      const std::lock_guard<std::mutex> lk{m_};
+      horizon_ = h;
+      next_shard_.store(0, std::memory_order_relaxed);
+      remaining_ = threads_.size();
+      ++epoch_;
+    }
+    cv_start_.notify_all();
+    std::unique_lock<std::mutex> lk{m_};
+    cv_done_.wait(lk, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  void worker() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      TimePoint h;
+      {
+        std::unique_lock<std::mutex> lk{m_};
+        cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        h = horizon_;
+      }
+      for (std::size_t i = next_shard_.fetch_add(1, std::memory_order_relaxed);
+           i < shards_.size();
+           i = next_shard_.fetch_add(1, std::memory_order_relaxed))
+        shards_[i]->run_before(h);
+      {
+        const std::lock_guard<std::mutex> lk{m_};
+        if (--remaining_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  std::vector<Simulator*>& shards_;
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  TimePoint horizon_;
+  std::atomic<std::size_t> next_shard_{0};
+  std::size_t remaining_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+HandoffChannel& ShardEngine::link(std::size_t from, std::size_t to,
+                                  Duration latency) {
+  assert(from < shards_.size() && to < shards_.size());
+  const bool buffered = from != to;
+  channels_.push_back(std::make_unique<HandoffChannel>(
+      *shards_[to], static_cast<std::uint32_t>(channels_.size()), latency,
+      buffered));
+  if (buffered) {
+    has_cross_shard_ = true;
+    lookahead_ = std::min(lookahead_, latency);
+  }
+  return *channels_.back();
+}
+
+TimePoint ShardEngine::inject_and_peek() {
+  for (const auto& c : channels_) {
+    stats_.handoffs += c->pending();
+    c->flush();
+  }
+  TimePoint next = TimePoint::max();
+  for (Simulator* s : shards_) next = std::min(next, s->peek_next_time());
+  return next;
+}
+
+void ShardEngine::run_until(TimePoint t) {
+  assert(t < TimePoint::max());
+  const auto workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, shards_.size()));
+  // The horizon bound is exclusive; run_before(t + 1ns) executes every
+  // event with timestamp <= t, i.e. run_until(t) semantics.
+  const TimePoint end_excl = t + Duration::nanoseconds(1);
+
+  std::unique_ptr<EpochPool> pool;
+  if (workers > 1) pool = std::make_unique<EpochPool>(workers, shards_);
+
+  for (;;) {
+    const TimePoint next = inject_and_peek();
+    if (next > t) break;
+    TimePoint h = end_excl;
+    if (has_cross_shard_ && next + lookahead_ < h) h = next + lookahead_;
+    ++stats_.epochs;
+    if (pool) {
+      pool->run_epoch(h);
+    } else {
+      for (Simulator* s : shards_) s->run_before(h);
+    }
+  }
+  // All events <= t have executed and every pending handoff releasing
+  // <= t has been injected (loop invariant); park each kernel at t.
+  for (Simulator* s : shards_) s->run_until(t);
+}
+
+}  // namespace rtec

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/handoff.hpp"
+#include "sim/simulator.hpp"
+#include "util/time_types.hpp"
+
+/// \file shard_engine.hpp
+/// Conservative parallel discrete-event engine over sharded kernels.
+///
+/// A multi-segment scenario partitions its CAN segments into shards, one
+/// `Simulator` per shard, coupled only through `HandoffChannel`s (gateway
+/// forwarding). The engine advances all shards in lockstep epochs using
+/// classic null-message/YAWNS-style lookahead synchronization:
+///
+///   1. barrier: inject every buffered handoff into its destination kernel
+///   2. N  = min over shards of the next pending event time
+///   3. H  = N + L, where L = min latency over all cross-shard channels
+///      (no cross-shard channels: H = run horizon — segments are
+///      independent and each shard runs the whole window in one epoch)
+///   4. every shard executes its events with timestamp < H, in parallel
+///
+/// Safety: an event executed in this epoch has timestamp t >= N, so any
+/// handoff it commits releases at t + latency >= N + L = H — beyond what
+/// any shard executes before the next barrier, where it is injected.
+/// Progress: L > 0 (asserted per channel), so the shard holding the global
+/// minimum always executes at least one event per epoch.
+///
+/// Determinism: results are bit-identical for every shard/thread count.
+/// Within an epoch shards share no mutable state (channel buffers are
+/// written only by their source shard and drained only at barriers), and
+/// the injected lane orders handoffs by their (channel, seq) identity
+/// rather than by injection time, so barrier placement cannot perturb
+/// delivery order — see simulator.hpp and docs/performance.md §5.
+/// tests/test_multiseg.cpp verifies bit-identity across shard counts
+/// {1, 2, N} × worker counts, seeds and topologies; the epoch barriers are
+/// the only cross-thread synchronization, verified under TSan.
+
+namespace rtec {
+
+class ShardEngine {
+ public:
+  ShardEngine() = default;
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Registers the next shard (configuration time). Shard indices follow
+  /// registration order.
+  void add_shard(Simulator& sim) { shards_.push_back(&sim); }
+
+  /// Creates the handoff channel for segment traffic flowing from shard
+  /// `from` into shard `to` (same shard allowed: the channel is then
+  /// unbuffered and bypasses the barrier machinery). Cross-shard channels
+  /// require `latency > 0`; the engine lookahead is their minimum.
+  HandoffChannel& link(std::size_t from, std::size_t to, Duration latency);
+
+  /// Worker threads used for parallel epochs (clamped to the shard count;
+  /// <= 1 executes shards in index order on the calling thread, which
+  /// yields byte-identical results).
+  void set_threads(unsigned n) { threads_ = n == 0 ? 1 : n; }
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Runs every shard up to and including `t` and leaves all kernels with
+  /// now() == t. Callable repeatedly; handoffs committed at exactly `t`
+  /// stay buffered and are injected by the next call.
+  void run_until(TimePoint t);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Minimum cross-shard channel latency (the conservative lookahead);
+  /// Duration::max() when every channel is intra-shard.
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  struct Stats {
+    std::uint64_t epochs = 0;         ///< lockstep windows executed
+    std::uint64_t handoffs = 0;       ///< cross-shard handoffs injected
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// Barrier work: flushes channel buffers and returns the global minimum
+  /// next-event time (TimePoint::max() when all kernels drained).
+  TimePoint inject_and_peek();
+
+  std::vector<Simulator*> shards_;
+  std::vector<std::unique_ptr<HandoffChannel>> channels_;
+  Duration lookahead_ = Duration::max();
+  bool has_cross_shard_ = false;
+  unsigned threads_ = 1;
+  Stats stats_;
+};
+
+}  // namespace rtec

@@ -79,6 +79,23 @@ void Simulator::run_until(TimePoint t) {
   now_ = t;
 }
 
+void Simulator::run_before(TimePoint h) {
+  while (!heap_.empty()) {
+    const Entry e = heap_.front();
+    if (stale(e)) {
+      heap_pop_front();
+      continue;
+    }
+    if (e.at >= h) return;
+    step();
+  }
+}
+
+TimePoint Simulator::peek_next_time() {
+  while (!heap_.empty() && stale(heap_.front())) heap_pop_front();
+  return heap_.empty() ? TimePoint::max() : heap_.front().at;
+}
+
 void Simulator::run() {
   while (step()) {
   }

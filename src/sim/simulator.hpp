@@ -21,6 +21,18 @@
 ///  * the kernel is single-threaded — there is no hidden concurrency, so a
 ///    given scenario + seed always produces bit-identical traces.
 ///
+/// Injected lane (multi-segment sharding, see docs/performance.md §5): an
+/// event arriving from *another* kernel (a gateway handoff) is scheduled
+/// through schedule_injected() with an explicit (channel, sequence)
+/// identity. Injected events order after every locally scheduled event at
+/// the same timestamp, then by (channel, sequence) — a total order that
+/// depends only on the event's identity, never on *when* the handoff was
+/// materialized into this kernel. That independence is what makes the
+/// sharded parallel engine (sim/shard_engine.hpp) bit-identical to a
+/// sequential single-kernel run: the conservative coordinator may inject a
+/// handoff at any barrier preceding its release time without perturbing
+/// the delivery order.
+///
 /// Implementation (see docs/performance.md): a 4-ary min-heap ordered by
 /// (time, seq) whose entries reference slab-recycled slots carrying the
 /// callback inline (small-buffer optimisation, no allocation on the hot
@@ -83,6 +95,33 @@ class Simulator {
     return schedule_at(now_ + d, std::forward<F>(cb));
   }
 
+  /// Schedules a cross-kernel handoff at absolute time `t` (>= now,
+  /// asserted). `channel` identifies the handoff channel (unique per
+  /// destination kernel) and `seq` the event's position in that channel's
+  /// FIFO; together they form the event's identity in the injected
+  /// tie-break band: at equal timestamps injected events run after all
+  /// locally scheduled ones, ordered by (channel, seq). Handoffs are not
+  /// cancellable — the source segment has already committed them.
+  template <typename F>
+  void schedule_injected(TimePoint t, std::uint32_t channel, std::uint64_t seq,
+                         F&& cb) {
+    static_assert(std::is_invocable_v<std::decay_t<F>&>,
+                  "callback must be invocable with no arguments");
+    assert(t >= now_ && "cannot inject into the past");
+    assert(channel < (std::uint32_t{1} << kChannelBits) &&
+           "handoff channel id space exhausted");
+    assert(seq < (std::uint64_t{1} << kChanSeqBits) &&
+           "handoff channel sequence space exhausted");
+    const std::uint32_t idx = acquire_slot();
+    slot(idx).emplace(std::forward<F>(cb), slab_);
+    const std::uint64_t seqslot =
+        kInjectedBit | std::uint64_t{channel} << (kSlotBits + kChanSeqBits) |
+        seq << kSlotBits | idx;
+    slot_seq_[idx] = seqslot;
+    heap_push(Entry{t, seqslot});
+    ++live_;
+  }
+
   /// Cancels a scheduled event in O(1) (the heap entry is removed lazily).
   /// Idempotent; harmless on fired/invalid handles. The handle is
   /// invalidated.
@@ -94,6 +133,17 @@ class Simulator {
 
   /// Runs every event with timestamp <= `t`, then sets now = t.
   void run_until(TimePoint t);
+
+  /// Runs every event with timestamp strictly < `h` and leaves `now` at the
+  /// last executed event (it does NOT advance to `h`). The conservative
+  /// shard coordinator uses this to execute one epoch: handoffs released at
+  /// or after the horizon can still be injected afterwards because `now`
+  /// never passes them.
+  void run_before(TimePoint h);
+
+  /// Timestamp of the next live event, or TimePoint::max() when the queue
+  /// is empty. Prunes lazily-cancelled entries from the heap front.
+  [[nodiscard]] TimePoint peek_next_time();
 
   /// Runs until the event queue drains. Scenario code with periodic
   /// re-arming timers must use run_until instead.
@@ -118,12 +168,26 @@ class Simulator {
     std::uint64_t seqslot;
   };
 
-  /// Bit budget for the packed word: 2^40 events per simulation and 2^24
-  /// concurrently live slots (a slot is only reused after it frees, so slot
-  /// count tracks the *peak* pending events, which at 64+ bytes per slot
-  /// exhausts memory long before the index space). Both are asserted.
+  /// Bit budget for the packed word: 2^39 locally scheduled events per
+  /// simulation and 2^24 concurrently live slots (a slot is only reused
+  /// after it frees, so slot count tracks the *peak* pending events, which
+  /// at 64+ bytes per slot exhausts memory long before the index space).
+  /// Both are asserted. The top bit selects the injected lane, whose
+  /// identity word is (channel, channel-seq) instead of a local seq:
+  ///
+  ///   bit 63     | bits 53..62 | bits 24..52  | bits 0..23
+  ///   lane (0/1) | channel     | channel seq  | slot index
+  ///
+  /// With the lane bit in the MSB and seq/channel above the slot index,
+  /// comparing packed words at equal timestamps yields exactly the required
+  /// order: all local events (FIFO by seq), then all injected events by
+  /// (channel, channel seq) — independent of insertion time.
   static constexpr std::uint32_t kSlotBits = 24;
-  static constexpr std::uint64_t kSeqBits = 40;
+  static constexpr std::uint64_t kSeqBits = 39;
+  static constexpr std::uint64_t kChanSeqBits = 29;
+  static constexpr std::uint32_t kChannelBits = 10;
+  static_assert(1 + kChannelBits + kChanSeqBits + kSlotBits == 64);
+  static constexpr std::uint64_t kInjectedBit = std::uint64_t{1} << 63;
   static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
 
   static constexpr std::uint32_t slot_of(std::uint64_t seqslot) {

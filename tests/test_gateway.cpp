@@ -33,15 +33,16 @@ struct GatewayFixture : ::testing::Test {
           return cfg;
         }()} {}
 
+  static constexpr Duration kForwardLatency = Duration::microseconds(10);
+
   void SetUp() override {
     a1 = &scn.add_node(1, perfect(), /*network=*/0);
     a2 = &scn.add_node(2, perfect(), 0);
     b1 = &scn.add_node(11, perfect(), /*network=*/1);
     gw_a = &scn.add_node(20, perfect(), 0);
     gw_b = &scn.add_node(21, perfect(), 1);
-    scn.register_gateway(20, 0);
-    scn.register_gateway(21, 1);
-    gateway = std::make_unique<Gateway>(*gw_a, *gw_b);
+    gateway = std::make_unique<Gateway>(
+        *gw_a, *gw_b, scn.link_gateway(*gw_a, *gw_b, kForwardLatency));
   }
 };
 

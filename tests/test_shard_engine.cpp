@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/handoff.hpp"
+#include "sim/shard_engine.hpp"
+#include "sim/simulator.hpp"
+
+// Kernel injected lane + conservative shard engine (sim/shard_engine.hpp):
+// the ordering rules that make sharded execution bit-identical to
+// sequential execution, and the lookahead/barrier machinery itself.
+
+namespace rtec {
+namespace {
+
+using literals::operator""_ns;
+using literals::operator""_us;
+using literals::operator""_ms;
+
+TimePoint at_ns(std::int64_t t) { return TimePoint::from_ns(t); }
+
+// --- Simulator injected lane -------------------------------------------
+
+TEST(InjectedLane, RunsAfterLocalEventsAtEqualTimestamp) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.schedule_injected(at_ns(100), /*channel=*/0, /*seq=*/0,
+                        [&] { log.push_back("inj"); });
+  sim.schedule_at(at_ns(100), [&] { log.push_back("local1"); });
+  sim.schedule_at(at_ns(100), [&] { log.push_back("local2"); });
+  sim.run_until(at_ns(100));
+  // Locals keep FIFO order and all precede the injected event, even though
+  // the injection was scheduled first.
+  EXPECT_EQ(log, (std::vector<std::string>{"local1", "local2", "inj"}));
+}
+
+TEST(InjectedLane, OrderIsChannelThenSequenceNotInsertionTime) {
+  // Two interleavings of the same injected set must execute identically:
+  // the tie-break key is (channel, seq), never the insertion order.
+  const auto run = [](bool reversed) {
+    Simulator sim;
+    std::vector<std::string> log;
+    const auto inject = [&](std::uint32_t chan, std::uint64_t seq) {
+      sim.schedule_injected(at_ns(50), chan, seq, [&log, chan, seq] {
+        log.push_back("c" + std::to_string(chan) + "s" + std::to_string(seq));
+      });
+    };
+    if (reversed) {
+      inject(2, 0);
+      inject(1, 1);
+      inject(1, 0);
+    } else {
+      inject(1, 0);
+      inject(1, 1);
+      inject(2, 0);
+    }
+    sim.run_until(at_ns(50));
+    return log;
+  };
+  const std::vector<std::string> want{"c1s0", "c1s1", "c2s0"};
+  EXPECT_EQ(run(false), want);
+  EXPECT_EQ(run(true), want);
+}
+
+TEST(InjectedLane, EventsScheduledByInjectedCallbackUseTheLocalBand) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.schedule_injected(at_ns(10), 0, 0, [&] {
+    log.push_back("inj0");
+    // Same-timestamp local event scheduled from inside an injected
+    // callback: it sorts in the local band, but having already passed it,
+    // the heap pops it after the current event — before the next injected
+    // entry only if its key says so. The local band precedes the injected
+    // band, so it runs before inj1.
+    sim.schedule_at(at_ns(10), [&] { log.push_back("local"); });
+  });
+  sim.schedule_injected(at_ns(10), 0, 1, [&] { log.push_back("inj1"); });
+  sim.run_until(at_ns(10));
+  EXPECT_EQ(log, (std::vector<std::string>{"inj0", "local", "inj1"}));
+}
+
+TEST(InjectedLane, PeekAndRunBefore) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(at_ns(10), [&] { ++fired; });
+  sim.schedule_at(at_ns(20), [&] { ++fired; });
+  auto h = sim.schedule_at(at_ns(5), [&] { ++fired; });
+  sim.cancel(h);
+
+  EXPECT_EQ(sim.peek_next_time().ns(), 10);  // pruned the cancelled front
+  sim.run_before(at_ns(20));                 // strictly-before horizon
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), 10);  // parked at the last executed event
+  EXPECT_EQ(sim.peek_next_time().ns(), 20);
+  sim.run_before(at_ns(21));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.peek_next_time(), TimePoint::max());
+}
+
+// --- HandoffChannel ----------------------------------------------------
+
+TEST(HandoffChannel, UnbufferedInjectsImmediatelyWithLatencyStamp) {
+  Simulator sim;
+  HandoffChannel chan{sim, /*id=*/3, /*latency=*/10_us, /*buffered=*/false};
+  std::vector<std::int64_t> deliveries;
+  sim.schedule_at(at_ns(1000), [&] {
+    chan.post(sim.now(), [&] { deliveries.push_back(sim.now().ns()); });
+  });
+  sim.run_until(at_ns(1'000'000));
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], 1000 + 10'000);
+  EXPECT_EQ(chan.posted(), 1u);
+  EXPECT_EQ(chan.pending(), 0u);
+}
+
+TEST(HandoffChannel, BufferedHoldsUntilFlushAndPreservesFifo) {
+  Simulator dest;
+  HandoffChannel chan{dest, 1, 5_us, /*buffered=*/true};
+  std::vector<int> order;
+  chan.post(at_ns(100), [&] { order.push_back(0); });
+  chan.post(at_ns(100), [&] { order.push_back(1); });  // same send slot
+  chan.post(at_ns(100), [&] { order.push_back(2); });
+  EXPECT_EQ(chan.pending(), 3u);
+  EXPECT_EQ(dest.pending(), 0u);
+
+  chan.flush();
+  EXPECT_EQ(chan.pending(), 0u);
+  EXPECT_EQ(dest.pending(), 3u);
+  dest.run_until(at_ns(100) + 5_us);
+  // All three release at the same stamped instant, in post order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// --- ShardEngine -------------------------------------------------------
+
+/// Two shards exchanging ping-pong handoffs plus local chatter; the log of
+/// (shard, time, tag) triples is the full observable behavior.
+struct PingPong {
+  Simulator a;
+  Simulator b;
+  ShardEngine engine;
+  HandoffChannel* ab = nullptr;
+  HandoffChannel* ba = nullptr;
+  std::vector<std::string> log_a;
+  std::vector<std::string> log_b;
+
+  explicit PingPong(unsigned threads) {
+    engine.add_shard(a);
+    engine.add_shard(b);
+    ab = &engine.link(0, 1, 10_us);
+    ba = &engine.link(1, 0, 10_us);
+    engine.set_threads(threads);
+  }
+
+  void build(int bounces) {
+    // Local chatter on both shards at adversarially tied timestamps.
+    for (int i = 0; i < 50; ++i) {
+      a.schedule_at(at_ns(i * 7'000), [this] {
+        log_a.push_back("tick@" + std::to_string(a.now().ns()));
+      });
+      b.schedule_at(at_ns(i * 7'000), [this] {
+        log_b.push_back("tock@" + std::to_string(b.now().ns()));
+      });
+    }
+    // Ping-pong: a → b → a → ..., `bounces` crossings.
+    a.schedule_at(at_ns(1'000), [this, bounces] { ping(bounces); });
+  }
+
+  void ping(int remaining) {
+    log_a.push_back("ping@" + std::to_string(a.now().ns()));
+    if (remaining <= 0) return;
+    ab->post(a.now(), [this, remaining] { pong(remaining - 1); });
+  }
+
+  void pong(int remaining) {
+    log_b.push_back("pong@" + std::to_string(b.now().ns()));
+    if (remaining <= 0) return;
+    ba->post(b.now(), [this, remaining] { ping(remaining - 1); });
+  }
+};
+
+TEST(ShardEngine, PingPongCrossesAtExactLatencyStamps) {
+  PingPong pp{1};
+  pp.build(4);
+  pp.engine.run_until(at_ns(1'000'000));
+  // ping at 1000, pong at 11000, ping at 21000, ...
+  EXPECT_NE(std::find(pp.log_a.begin(), pp.log_a.end(), "ping@21000"),
+            pp.log_a.end());
+  EXPECT_NE(std::find(pp.log_b.begin(), pp.log_b.end(), "pong@11000"),
+            pp.log_b.end());
+  EXPECT_NE(std::find(pp.log_b.begin(), pp.log_b.end(), "pong@31000"),
+            pp.log_b.end());
+  EXPECT_EQ(pp.engine.lookahead().ns(), (10_us).ns());
+  EXPECT_GT(pp.engine.stats().epochs, 0u);
+  EXPECT_EQ(pp.engine.stats().handoffs, 4u);
+  EXPECT_EQ(pp.a.now().ns(), 1'000'000);
+  EXPECT_EQ(pp.b.now().ns(), 1'000'000);
+}
+
+TEST(ShardEngine, BitIdenticalAcrossThreadCounts) {
+  std::vector<std::string> ref_a;
+  std::vector<std::string> ref_b;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    PingPong pp{threads};
+    pp.build(20);
+    pp.engine.run_until(at_ns(2'000'000));
+    if (threads == 1u) {
+      ref_a = pp.log_a;
+      ref_b = pp.log_b;
+      continue;
+    }
+    EXPECT_EQ(pp.log_a, ref_a) << threads << " threads";
+    EXPECT_EQ(pp.log_b, ref_b) << threads << " threads";
+  }
+  ASSERT_FALSE(ref_a.empty());
+}
+
+TEST(ShardEngine, RepeatedRunUntilInjectsLeftoverHandoffs) {
+  // A handoff committed in one run call whose release falls beyond the
+  // horizon must be delivered by the next call.
+  PingPong pp{2};
+  int delivered = 0;
+  pp.a.schedule_at(at_ns(90'000), [&] {
+    pp.ab->post(pp.a.now(), [&] { ++delivered; });  // releases at 100'000
+  });
+  pp.engine.run_until(at_ns(95'000));
+  EXPECT_EQ(delivered, 0);
+  pp.engine.run_until(at_ns(200'000));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(ShardEngine, IndependentShardsRunInOneEpoch) {
+  // No cross-shard channels: the horizon is the run bound itself.
+  Simulator a;
+  Simulator b;
+  ShardEngine engine;
+  engine.add_shard(a);
+  engine.add_shard(b);
+  engine.set_threads(2);
+  // Per-shard counters: the two shards run concurrently inside an epoch.
+  int fired_a = 0;
+  int fired_b = 0;
+  for (int i = 0; i < 100; ++i) {
+    a.schedule_at(at_ns(i * 997), [&] { ++fired_a; });
+    b.schedule_at(at_ns(i * 1013), [&] { ++fired_b; });
+  }
+  engine.run_until(at_ns(1'000'000));
+  EXPECT_EQ(fired_a + fired_b, 200);
+  EXPECT_EQ(engine.stats().epochs, 1u);
+}
+
+TEST(ShardEngine, LookaheadNeverOutrunsAnInboundHandoff) {
+  // Shard B is saturated with events at every microsecond; a handoff from
+  // A released mid-stream must interleave at exactly its release stamp —
+  // i.e. B must never have advanced past the release when it arrives.
+  Simulator a;
+  Simulator b;
+  ShardEngine engine;
+  engine.add_shard(a);
+  engine.add_shard(b);
+  HandoffChannel& ab = engine.link(0, 1, 7_us);
+  engine.set_threads(2);
+
+  std::vector<std::int64_t> b_times;
+  for (int i = 0; i < 200; ++i)
+    b.schedule_at(at_ns(i * 1'000),
+                  [&] { b_times.push_back(b.now().ns()); });
+  a.schedule_at(at_ns(50'500), [&] {
+    ab.post(a.now(), [&] { b_times.push_back(-b.now().ns()); });
+  });
+  engine.run_until(at_ns(500'000));
+
+  const auto it = std::find(b_times.begin(), b_times.end(), -57'500);
+  ASSERT_NE(it, b_times.end());
+  // Everything before the handoff marker is strictly earlier than its
+  // release; everything after is at or beyond it.
+  for (auto p = b_times.begin(); p != it; ++p) EXPECT_LT(*p, 57'500);
+  for (auto p = it + 1; p != b_times.end(); ++p) EXPECT_GE(*p, 57'500);
+}
+
+}  // namespace
+}  // namespace rtec
