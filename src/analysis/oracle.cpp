@@ -1,0 +1,302 @@
+#include "analysis/oracle.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/gateway.hpp"
+#include "core/scenario.hpp"
+#include "core/srtec.hpp"
+#include "util/random.hpp"
+#include "util/task_pool.hpp"
+
+namespace rtec::analysis {
+
+namespace {
+
+/// Node-id layout inside the oracle scenario (kMaxNodeId = 127 budget):
+/// each segment gets a publisher and a subscriber node at 1+2n / 2+2n,
+/// each gateway link a node pair at 64+2l / 65+2l.
+constexpr int kMaxOracleSegments = 31;
+constexpr int kMaxOracleLinks = 31;
+
+NodeId pub_node(int net) { return static_cast<NodeId>(1 + 2 * net); }
+NodeId sub_node(int net) { return static_cast<NodeId>(2 + 2 * net); }
+
+/// Per-route measurement state for one seed's run. The publish loop (on
+/// the source shard) appends; the subscriber (destination shard) reads —
+/// safe because the oracle runs its shards on one thread.
+struct RouteRun {
+  std::vector<std::int64_t> sent_ns;
+  std::uint64_t delivered = 0;
+  std::int64_t max_latency_ns = 0;
+};
+
+std::vector<std::uint8_t> seq_payload(std::uint32_t seq, int dlc) {
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(std::max(4, dlc)), 0);
+  bytes[0] = static_cast<std::uint8_t>(seq);
+  bytes[1] = static_cast<std::uint8_t>(seq >> 8);
+  bytes[2] = static_cast<std::uint8_t>(seq >> 16);
+  bytes[3] = static_cast<std::uint8_t>(seq >> 24);
+  return bytes;
+}
+
+std::uint32_t payload_seq(const Event& e) {
+  if (e.content.size() < 4) return 0;
+  return static_cast<std::uint32_t>(e.content[0]) |
+         static_cast<std::uint32_t>(e.content[1]) << 8 |
+         static_cast<std::uint32_t>(e.content[2]) << 16 |
+         static_cast<std::uint32_t>(e.content[3]) << 24;
+}
+
+}  // namespace
+
+OracleResult run_differential_oracle(const TopologyInput& input,
+                                     const OracleOptions& options) {
+  const TopologySpec& spec = input.spec;
+  OracleResult out;
+
+  const auto skip = [&](std::string why) {
+    out.skip_reason = std::move(why);
+    return out;
+  };
+
+  const LintReport static_report = verify_topology(input, options.verify);
+  for (const Finding& f : static_report.findings) {
+    if (f.rule == Rule::kTopologyConfig || f.rule == Rule::kRoutingCycle ||
+        f.rule == Rule::kUnreachableSubscriber)
+      return skip("topology has structural findings (" +
+                  std::string{rule_code(f.rule)} +
+                  ") — nothing sound to simulate");
+  }
+  if (!input.calendars.empty())
+    return skip("oracle simulates the SRT layer only; topology attaches "
+                "HRT calendars");
+  if (spec.routes.empty()) return skip("no routes to cross-check");
+  if (static_cast<int>(spec.segments.size()) > kMaxOracleSegments ||
+      static_cast<int>(spec.links.size()) > kMaxOracleLinks)
+    return skip("topology exceeds the oracle's node-id budget (" +
+                std::to_string(kMaxOracleSegments) + " segments / " +
+                std::to_string(kMaxOracleLinks) + " links)");
+  for (const LinkSpec& l : spec.links)
+    if (l.latency <= Duration::zero())
+      return skip("link " + std::to_string(l.id) +
+                  " has zero forward latency (RTEC-T006) — the handoff "
+                  "channel requires positive lookahead");
+
+  const std::vector<RouteBound> bounds = route_bounds(input);
+
+  std::vector<bool> admitted(spec.routes.size(), true);
+  for (const Finding& f : static_report.findings)
+    if (f.rule == Rule::kE2eDeadline && f.route >= 0)
+      admitted[static_cast<std::size_t>(f.route)] = false;
+
+  // Segment id → dense network index, in declared-id order (the segment
+  // ids are part of the format; the Scenario wants 0..n-1).
+  std::map<int, int> net_of;
+  for (const SegmentSpec& s : spec.segments)
+    net_of.emplace(s.id, static_cast<int>(net_of.size()));
+
+  for (const std::uint64_t seed : options.seeds) {
+    Scenario::Config cfg;
+    cfg.networks = static_cast<int>(net_of.size());
+    // One shard per segment: the oracle exercises the same conservative
+    // parallel engine the deployment would use. One thread: sequential,
+    // deterministic, and the measurement state needs no synchronization
+    // (results are bit-identical for any thread count anyway).
+    cfg.shards = cfg.networks;
+    cfg.threads = 1;
+    Scenario scn{cfg};
+    TaskPool pool;
+    Rng setup_rng{seed};
+
+    for (int net = 0; net < cfg.networks; ++net) {
+      scn.add_node(pub_node(net), {}, net);
+      scn.add_node(sub_node(net), {}, net);
+    }
+
+    std::map<int, Gateway*> gateway_of_link;
+    std::vector<std::unique_ptr<Gateway>> gateways;
+    for (std::size_t l = 0; l < spec.links.size(); ++l) {
+      const LinkSpec& link = spec.links[l];
+      Node& a = scn.add_node(static_cast<NodeId>(64 + 2 * l), {},
+                             net_of.at(link.a));
+      Node& b = scn.add_node(static_cast<NodeId>(65 + 2 * l), {},
+                             net_of.at(link.b));
+      gateways.push_back(std::make_unique<Gateway>(
+          a, b, scn.link_gateway(a, b, link.latency)));
+      gateway_of_link[link.id] = gateways.back().get();
+    }
+
+    std::vector<std::unique_ptr<Srtec>> stacks;
+    const auto make_stack = [&](NodeId id) {
+      stacks.push_back(std::make_unique<Srtec>(scn.node(id).middleware()));
+      return stacks.back().get();
+    };
+
+    std::vector<std::unique_ptr<RouteRun>> runs;
+    bool setup_ok = true;
+    for (std::size_t r = 0; r < spec.routes.size() && setup_ok; ++r) {
+      const RouteSpec& route = spec.routes[r];
+      const RouteBound& rb = bounds[r];
+      runs.push_back(std::make_unique<RouteRun>());
+      RouteRun* run = runs.back().get();
+
+      const Subject subj = subject_of("oracle/route" + std::to_string(r));
+      for (const int link_id : rb.link_ids) {
+        const Duration expiration =
+            std::max(route.e2e_deadline, route.hop_deadline);
+        // Transit forwarding is safe here: the oracle only runs after the
+        // static report came back free of RTEC-T002 cycle findings.
+        if (!gateway_of_link.at(link_id)
+                 ->bridge_srt(subj, route.hop_deadline, expiration,
+                              /*forward_transit=*/true)) {
+          setup_ok = false;
+          break;
+        }
+      }
+      if (!setup_ok) break;
+
+      // Generous expiration: a backlogged (overloaded) segment must keep
+      // its late events alive long enough for the subscriber to observe
+      // the real latency — dropping them would hide exactly the
+      // disagreement the oracle is looking for.
+      const AttributeList route_attrs{
+          attr::Deadline{route.hop_deadline},
+          attr::Expiration{std::max(route.e2e_deadline,
+                                    route.hop_deadline + route.hop_deadline)}};
+      Srtec* pub = make_stack(pub_node(net_of.at(route.from)));
+      if (!pub->announce(subj, route_attrs, nullptr)) {
+        setup_ok = false;
+        break;
+      }
+      Srtec* sub = make_stack(sub_node(net_of.at(route.to)));
+      Simulator* to_sim = &scn.segment_sim(net_of.at(route.to));
+      if (!sub->subscribe(subj, {},
+                          [sub, to_sim, run] {
+                            while (auto e = sub->getEvent()) {
+                              const std::uint32_t seq = payload_seq(*e);
+                              if (seq >= run->sent_ns.size()) continue;
+                              const std::int64_t lat =
+                                  to_sim->now().ns() - run->sent_ns[seq];
+                              ++run->delivered;
+                              run->max_latency_ns =
+                                  std::max(run->max_latency_ns, lat);
+                            }
+                          },
+                          nullptr)) {
+        setup_ok = false;
+        break;
+      }
+
+      Simulator* from_sim = &scn.segment_sim(net_of.at(route.from));
+      const Duration period = route.period;
+      const int dlc = route.dlc;
+      auto* loop = pool.make();
+      *loop = [pub, from_sim, run, period, dlc, loop] {
+        const std::uint32_t seq =
+            static_cast<std::uint32_t>(run->sent_ns.size());
+        run->sent_ns.push_back(from_sim->now().ns());
+        Event e;
+        e.content = seq_payload(seq, dlc);
+        (void)pub->publish(std::move(e));
+        from_sim->schedule_after(period, [loop] { (*loop)(); });
+      };
+      from_sim->schedule_after(
+          Duration::microseconds(setup_rng.uniform_int(100, 3000)),
+          [loop] { (*loop)(); });
+    }
+
+    // Declared local SRT streams publish too: they are the background load
+    // the quantitative rules budgeted for, so the oracle replays them.
+    for (std::size_t i = 0; i < spec.streams.size() && setup_ok; ++i) {
+      const TopologyStream& ts = spec.streams[i];
+      if (ts.stream.traffic != TrafficClass::kSrt) continue;
+      const int net = net_of.at(ts.segment);
+      const Subject subj = subject_of("oracle/stream" + std::to_string(i));
+      Srtec* pub = make_stack(pub_node(net));
+      if (!pub->announce(subj, AttributeList{attr::Deadline{ts.stream.deadline}},
+                         nullptr)) {
+        setup_ok = false;
+        break;
+      }
+      Srtec* sub = make_stack(sub_node(net));
+      if (!sub->subscribe(subj, {}, [sub] { while (sub->getEvent()) {} },
+                          nullptr)) {
+        setup_ok = false;
+        break;
+      }
+      Simulator* sim = &scn.segment_sim(net);
+      const Duration period = ts.stream.period;
+      const int dlc = ts.stream.dlc;
+      auto* loop = pool.make();
+      *loop = [pub, sim, period, dlc, loop] {
+        Event e;
+        e.content = seq_payload(0, dlc);
+        (void)pub->publish(std::move(e));
+        sim->schedule_after(period, [loop] { (*loop)(); });
+      };
+      sim->schedule_after(
+          Duration::microseconds(setup_rng.uniform_int(100, 3000)),
+          [loop] { (*loop)(); });
+    }
+    if (!setup_ok)
+      return skip("oracle scenario setup failed (channel announce/bridge "
+                  "rejected) — topology not realizable as declared");
+
+    scn.run_for(options.sim_time);
+
+    for (std::size_t r = 0; r < spec.routes.size(); ++r) {
+      RouteObservation ob;
+      ob.route = r;
+      ob.seed = seed;
+      ob.delivered = runs[r]->delivered;
+      ob.max_latency = Duration::nanoseconds(runs[r]->max_latency_ns);
+      ob.bound = bounds[r].bound;
+      ob.statically_admitted = admitted[r];
+      out.observations.push_back(ob);
+    }
+  }
+  out.ran = true;
+
+  // Aggregate the verdict per route across seeds; every disagreement is
+  // an RTEC-T011 error naming the seed that produced it.
+  for (std::size_t r = 0; r < spec.routes.size(); ++r) {
+    const RouteSpec& route = spec.routes[r];
+    for (const RouteObservation& ob : out.observations) {
+      if (ob.route != r) continue;
+      const auto add = [&](std::string msg) {
+        Finding f;
+        f.rule = Rule::kOracleDisagreement;
+        f.severity = Severity::kError;
+        f.route = static_cast<int>(r);
+        f.line = route.line;
+        f.message = std::move(msg);
+        out.report.add(std::move(f));
+      };
+      std::ostringstream at;
+      at << "seed " << ob.seed << ": ";
+      if (ob.max_latency > ob.bound)
+        add(at.str() + "observed end-to-end latency " +
+            std::to_string(ob.max_latency.ns()) +
+            " ns exceeds the composed static bound " +
+            std::to_string(ob.bound.ns()) + " ns — the bound is unsound");
+      if (ob.statically_admitted && ob.max_latency > route.e2e_deadline)
+        add(at.str() + "statically admitted route misses its declared "
+                       "deadline in simulation (observed " +
+            std::to_string(ob.max_latency.ns()) + " ns > " +
+            std::to_string(route.e2e_deadline.ns()) + " ns) — false admission");
+      if (ob.delivered == 0)
+        add(at.str() +
+            "route delivered no events at all — forwarding path dead "
+            "although the verifier resolved it");
+    }
+  }
+  return out;
+}
+
+}  // namespace rtec::analysis

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/topology.hpp"
+#include "analysis/verify.hpp"
+
+/// \file oracle.hpp
+/// Differential oracle for the topology verifier: builds the declared
+/// topology as a real sharded simulation (core/scenario + core/gateway,
+/// one shard per segment), publishes every route periodically across its
+/// resolved gateway path, measures observed end-to-end latencies, and
+/// cross-checks them against the static verdict:
+///
+///   * an observed latency above a route's composed static bound means the
+///     bound derivation is wrong — RTEC-T011, always an error;
+///   * a route the verifier admitted (no RTEC-T009) that misses its
+///     declared end-to-end deadline in simulation is a false admission —
+///     RTEC-T011;
+///   * a route that never delivers at all contradicts reachability —
+///     RTEC-T011.
+///
+/// The converse (verifier rejects, simulation happens to meet the
+/// deadline) is *not* a disagreement: the static rules are deliberately
+/// conservative. Callers who want to confirm a rejection was justified
+/// inspect the returned per-route observations directly (the test suite
+/// does exactly that with a crafted over-deadline fixture).
+///
+/// Each publish stamps a sequence number into the payload; the publish
+/// instant is recorded in simulation time on the source shard and read
+/// back at delivery on the destination shard. The oracle therefore runs
+/// its shards sequentially (threads = 1) — same deterministic schedule the
+/// differential engine tests pin down, no cross-thread access — which on
+/// top makes every run bit-reproducible per seed.
+
+namespace rtec::analysis {
+
+struct OracleOptions {
+  /// Each seed varies the publish phase offsets of every route/stream.
+  std::vector<std::uint64_t> seeds = {1, 2, 3};
+  Duration sim_time = Duration::milliseconds(200);
+  /// Static pass the oracle cross-checks (kept identical to the CLI's).
+  VerifyOptions verify;
+};
+
+/// What one seed's simulation observed for one route.
+struct RouteObservation {
+  std::size_t route = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t delivered = 0;              ///< events seen by the subscriber
+  Duration max_latency = Duration::zero();  ///< worst observed end-to-end
+  Duration bound = Duration::zero();        ///< static bound it is checked against
+  bool statically_admitted = true;          ///< no RTEC-T009 on this route
+};
+
+struct OracleResult {
+  /// False when the topology cannot be built as a simulation (structural
+  /// errors, calendars attached, zero-latency links, or beyond the node-id
+  /// budget); skip_reason then says why and `report` stays empty.
+  bool ran = false;
+  std::string skip_reason;
+  /// RTEC-T011 findings; empty after a run = verifier and simulator agree.
+  LintReport report;
+  std::vector<RouteObservation> observations;
+};
+
+[[nodiscard]] OracleResult run_differential_oracle(
+    const TopologyInput& input, const OracleOptions& options = {});
+
+}  // namespace rtec::analysis

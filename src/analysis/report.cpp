@@ -25,6 +25,17 @@ std::string_view rule_code(Rule r) {
     case Rule::kEtagClassMixing: return "RTEC-S104";
     case Rule::kSyncSlotMismatch: return "RTEC-S105";
     case Rule::kSrtInfeasible: return "RTEC-S106";
+    case Rule::kTopologyConfig: return "RTEC-T001";
+    case Rule::kRoutingCycle: return "RTEC-T002";
+    case Rule::kUnreachableSubscriber: return "RTEC-T003";
+    case Rule::kEtagClash: return "RTEC-T004";
+    case Rule::kPrecisionMismatch: return "RTEC-T005";
+    case Rule::kSerialLookahead: return "RTEC-T006";
+    case Rule::kSegmentOverload: return "RTEC-T007";
+    case Rule::kGatewayOverload: return "RTEC-T008";
+    case Rule::kE2eDeadline: return "RTEC-T009";
+    case Rule::kHopInfeasible: return "RTEC-T010";
+    case Rule::kOracleDisagreement: return "RTEC-T011";
   }
   return "RTEC-????";
 }
@@ -48,6 +59,17 @@ std::string_view rule_name(Rule r) {
     case Rule::kEtagClassMixing: return "etag-class-mixing";
     case Rule::kSyncSlotMismatch: return "sync-slot-mismatch";
     case Rule::kSrtInfeasible: return "srt-infeasible";
+    case Rule::kTopologyConfig: return "topology-config";
+    case Rule::kRoutingCycle: return "routing-cycle";
+    case Rule::kUnreachableSubscriber: return "unreachable-subscriber";
+    case Rule::kEtagClash: return "etag-clash";
+    case Rule::kPrecisionMismatch: return "precision-mismatch";
+    case Rule::kSerialLookahead: return "serial-lookahead";
+    case Rule::kSegmentOverload: return "segment-overload";
+    case Rule::kGatewayOverload: return "gateway-overload";
+    case Rule::kE2eDeadline: return "e2e-deadline";
+    case Rule::kHopInfeasible: return "hop-infeasible";
+    case Rule::kOracleDisagreement: return "oracle-disagreement";
   }
   return "unknown";
 }
@@ -94,10 +116,10 @@ void append_json_string(std::ostringstream& out, std::string_view s) {
 
 }  // namespace
 
-std::string report_to_json(const LintReport& report) {
+std::string report_to_json(const LintReport& report, std::string_view tool) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"tool\": \"rtec-lint\",\n";
+  out << "  \"tool\": \"" << tool << "\",\n";
   out << "  \"format\": 1,\n";
   out << "  \"counts\": {\"errors\": " << report.error_count()
       << ", \"warnings\": " << report.warning_count() << "},\n";
@@ -113,6 +135,9 @@ std::string report_to_json(const LintReport& report) {
     out << "      \"severity\": \"" << to_string(f.severity) << "\",\n";
     if (f.slot >= 0) out << "      \"slot\": " << f.slot << ",\n";
     if (f.other_slot >= 0) out << "      \"other_slot\": " << f.other_slot << ",\n";
+    if (f.segment >= 0) out << "      \"segment\": " << f.segment << ",\n";
+    if (f.link >= 0) out << "      \"link\": " << f.link << ",\n";
+    if (f.route >= 0) out << "      \"route\": " << f.route << ",\n";
     if (f.line > 0) out << "      \"line\": " << f.line << ",\n";
     out << "      \"message\": ";
     append_json_string(out, f.message);
@@ -134,6 +159,9 @@ std::string report_to_text(const LintReport& report) {
       if (f.other_slot >= 0) out << " vs " << f.other_slot;
       out << ":";
     }
+    if (f.segment >= 0) out << " segment " << f.segment << ":";
+    if (f.link >= 0) out << " link " << f.link << ":";
+    if (f.route >= 0) out << " route " << f.route << ":";
     out << " " << f.message << "\n";
   }
   out << (report.has_errors() ? "REJECT" : "ACCEPT") << ": "

@@ -33,6 +33,17 @@ enum class Rule {
   kEtagClassMixing,      ///< RTEC-S104 one etag bound to two traffic classes
   kSyncSlotMismatch,     ///< RTEC-S105 sync declaration vs sync slot
   kSrtInfeasible,        ///< RTEC-S106 declared SRT set fails the EDF test
+  kTopologyConfig,       ///< RTEC-T001 malformed gateway graph structure
+  kRoutingCycle,         ///< RTEC-T002 bridged etag forms a forwarding loop
+  kUnreachableSubscriber,///< RTEC-T003 route destination not reachable
+  kEtagClash,            ///< RTEC-T004 cross-segment event-tag collision
+  kPrecisionMismatch,    ///< RTEC-T005 clock precision inconsistent on a link
+  kSerialLookahead,      ///< RTEC-T006 forward latency collapses lookahead
+  kSegmentOverload,      ///< RTEC-T007 per-segment bandwidth infeasible
+  kGatewayOverload,      ///< RTEC-T008 per-direction forwarded demand too high
+  kE2eDeadline,          ///< RTEC-T009 composed worst-case bound > deadline
+  kHopInfeasible,        ///< RTEC-T010 per-segment EDF test fails composed set
+  kOracleDisagreement,   ///< RTEC-T011 simulated run contradicts the verifier
 };
 
 /// "RTEC-C001"-style stable code.
@@ -49,8 +60,15 @@ struct Finding {
   Severity severity = Severity::kError;
   int slot = -1;        ///< calendar slot index the finding is about
   int other_slot = -1;  ///< second slot for pairwise rules (overlap)
-  int line = 0;         ///< source line in the image/scenario text
+  int line = 0;         ///< source line in the image/scenario/topology text
   std::string message;
+  /// Topology coordinates (rtec-verify, RTEC-T rules): declared segment id,
+  /// link id and route index the finding is about; -1 = not applicable.
+  /// Calendar/scenario findings leave all three unset, so the rtec-lint
+  /// JSON document is byte-identical to the pre-T-series format.
+  int segment = -1;
+  int link = -1;
+  int route = -1;
 };
 
 struct LintReport {
@@ -64,9 +82,12 @@ struct LintReport {
 };
 
 /// Stable JSON rendering (2-space indent, fixed key order, findings in
-/// emission order). `slot`/`other_slot` are omitted when negative, `line`
-/// when 0, so purely structural findings stay compact.
-[[nodiscard]] std::string report_to_json(const LintReport& report);
+/// emission order). `slot`/`other_slot`/`segment`/`link`/`route` are
+/// omitted when negative, `line` when 0, so purely structural findings
+/// stay compact. `tool` names the producing front-end ("rtec-lint",
+/// "rtec-verify") — both emit the same `"format": 1` document shape.
+[[nodiscard]] std::string report_to_json(const LintReport& report,
+                                         std::string_view tool = "rtec-lint");
 
 /// Human rendering: one "line N: severity [CODE/name] message" per
 /// finding plus a final verdict line.

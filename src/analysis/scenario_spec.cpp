@@ -8,6 +8,54 @@
 
 namespace rtec::analysis {
 
+Expected<StreamSpec, std::string> parse_stream_fields(const KvMap& kv) {
+  const auto cls = kv.get_str("class");
+  if (!cls) return Unexpected{cls.error()};
+  StreamSpec s;
+  if (*cls == "srt") {
+    s.traffic = TrafficClass::kSrt;
+  } else if (*cls == "nrt") {
+    s.traffic = TrafficClass::kNrt;
+  } else {
+    return Unexpected{"class must be srt or nrt, got '" + *cls + "'"};
+  }
+  const auto node = kv.get_int_in("node", 0, kMaxNodeId);
+  if (!node) return Unexpected{node.error()};
+  s.node = static_cast<NodeId>(*node);
+  const auto etag = kv.get_int_in("etag", 0, kMaxEtag);
+  if (!etag) return Unexpected{etag.error()};
+  s.etag = static_cast<Etag>(*etag);
+  if (kv.contains("dlc")) {
+    const auto dlc = kv.get_int_in("dlc", 0, 8);
+    if (!dlc) return Unexpected{dlc.error()};
+    s.dlc = static_cast<int>(*dlc);
+  }
+  if (s.traffic == TrafficClass::kSrt) {
+    const auto period = kv.get_int_in(
+        "period_us", 1, std::numeric_limits<std::int64_t>::max() / 1000);
+    if (!period) return Unexpected{period.error()};
+    s.period = Duration::microseconds(*period);
+    s.deadline = s.period;
+    if (kv.contains("deadline_us")) {
+      const auto deadline = kv.get_int_in(
+          "deadline_us", 1, std::numeric_limits<std::int64_t>::max() / 1000);
+      if (!deadline) return Unexpected{deadline.error()};
+      s.deadline = Duration::microseconds(*deadline);
+    }
+    if (kv.contains("priority"))
+      return Unexpected{std::string{"priority is an NRT field"}};
+  } else {
+    // Full 8-bit range: a priority outside the NRT partition (or one
+    // that could out-arbitrate HRT) is RTEC-S103's finding.
+    const auto priority = kv.get_int_in("priority", 0, 255);
+    if (!priority) return Unexpected{priority.error()};
+    s.priority = static_cast<int>(*priority);
+    if (kv.contains("period_us") || kv.contains("deadline_us"))
+      return Unexpected{std::string{"period_us/deadline_us are SRT fields"}};
+  }
+  return s;
+}
+
 Expected<ScenarioSpec, CalendarIoError> parse_scenario_spec(
     const std::string& text) {
   std::istringstream in{text};
@@ -116,54 +164,10 @@ Expected<ScenarioSpec, CalendarIoError> parse_scenario_spec(
     if (word == "stream") {
       const auto kv = parse_kv_tokens(rest, kStreamKeys);
       if (!kv) return fail("malformed stream line: " + kv.error());
-      const auto cls = kv->get_str("class");
-      if (!cls) return fail("bad stream: " + cls.error());
-      StreamSpec s;
-      s.line = line_no;
-      if (*cls == "srt") {
-        s.traffic = TrafficClass::kSrt;
-      } else if (*cls == "nrt") {
-        s.traffic = TrafficClass::kNrt;
-      } else {
-        return fail("bad stream: class must be srt or nrt, got '" + *cls +
-                    "'");
-      }
-      const auto node = kv->get_int_in("node", 0, kMaxNodeId);
-      if (!node) return fail("bad stream: " + node.error());
-      s.node = static_cast<NodeId>(*node);
-      const auto etag = kv->get_int_in("etag", 0, kMaxEtag);
-      if (!etag) return fail("bad stream: " + etag.error());
-      s.etag = static_cast<Etag>(*etag);
-      if (kv->contains("dlc")) {
-        const auto dlc = kv->get_int_in("dlc", 0, 8);
-        if (!dlc) return fail("bad stream: " + dlc.error());
-        s.dlc = static_cast<int>(*dlc);
-      }
-      if (s.traffic == TrafficClass::kSrt) {
-        const auto period = kv->get_int_in(
-            "period_us", 1, std::numeric_limits<std::int64_t>::max() / 1000);
-        if (!period) return fail("bad stream: " + period.error());
-        s.period = Duration::microseconds(*period);
-        s.deadline = s.period;
-        if (kv->contains("deadline_us")) {
-          const auto deadline = kv->get_int_in(
-              "deadline_us", 1,
-              std::numeric_limits<std::int64_t>::max() / 1000);
-          if (!deadline) return fail("bad stream: " + deadline.error());
-          s.deadline = Duration::microseconds(*deadline);
-        }
-        if (kv->contains("priority"))
-          return fail("bad stream: priority is an NRT field");
-      } else {
-        // Full 8-bit range: a priority outside the NRT partition (or one
-        // that could out-arbitrate HRT) is RTEC-S103's finding.
-        const auto priority = kv->get_int_in("priority", 0, 255);
-        if (!priority) return fail("bad stream: " + priority.error());
-        s.priority = static_cast<int>(*priority);
-        if (kv->contains("period_us") || kv->contains("deadline_us"))
-          return fail("bad stream: period_us/deadline_us are SRT fields");
-      }
-      spec.streams.push_back(std::move(s));
+      auto s = parse_stream_fields(*kv);
+      if (!s) return fail("bad stream: " + s.error());
+      s->line = line_no;
+      spec.streams.push_back(std::move(*s));
       continue;
     }
     return fail("unknown directive '" + word + "'");

@@ -7,6 +7,7 @@
 #include "sched/calendar_io.hpp"
 #include "sched/id_codec.hpp"
 #include "sched/priority_map.hpp"
+#include "util/kv_text.hpp"
 #include "util/time_types.hpp"
 
 /// \file scenario_spec.hpp
@@ -73,5 +74,12 @@ struct ScenarioSpec {
 /// CLI diagnostics are uniform across both input files.
 [[nodiscard]] Expected<ScenarioSpec, CalendarIoError> parse_scenario_spec(
     const std::string& text);
+
+/// Parses the stream fields (class/node/etag/dlc plus the class-specific
+/// timing/priority keys) of one already-tokenized `stream` directive.
+/// Shared between the scenario and topology formats; extra keys the
+/// caller's format adds (e.g. topology's segment=) are ignored here.
+[[nodiscard]] Expected<StreamSpec, std::string> parse_stream_fields(
+    const KvMap& kv);
 
 }  // namespace rtec::analysis

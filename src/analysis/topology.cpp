@@ -1,0 +1,207 @@
+#include "analysis/topology.hpp"
+
+#include <array>
+#include <limits>
+#include <sstream>
+
+#include "util/kv_text.hpp"
+
+namespace rtec::analysis {
+
+namespace {
+
+/// Declared-id cap shared by segment and link directives: topologies are
+/// fleet/campus scale (thousands of segments), not arbitrary integers —
+/// keeping ids small keeps every adjacency structure densely indexable.
+constexpr std::int64_t kMaxDeclaredId = 1'000'000;
+
+/// Duration cap of the text formats (see calendar_io): microsecond keys
+/// parse into nanoseconds, so the bound keeps the conversion exact.
+constexpr std::int64_t kMaxDurationUs =
+    std::numeric_limits<std::int64_t>::max() / 1000;
+
+}  // namespace
+
+const SegmentSpec* TopologySpec::segment_by_id(int id) const {
+  for (const SegmentSpec& s : segments)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+const LinkSpec* TopologySpec::link_by_id(int id) const {
+  const LinkSpec* found = nullptr;
+  for (const LinkSpec& l : links) {
+    if (l.id != id) continue;
+    if (found != nullptr) return nullptr;  // duplicate: RTEC-T001's finding
+    found = &l;
+  }
+  return found;
+}
+
+Expected<TopologySpec, CalendarIoError> parse_topology_spec(
+    const std::string& text) {
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+
+  auto fail = [&](std::string msg) {
+    return Unexpected{CalendarIoError{line_no, std::move(msg)}};
+  };
+
+  static constexpr std::array<std::string_view, 3> kSegmentKeys = {
+      "id", "calendar", "precision_ns"};
+  static constexpr std::array<std::string_view, 4> kLinkKeys = {
+      "id", "a", "b", "latency_us"};
+  static constexpr std::array<std::string_view, 2> kBridgeKeys = {"link",
+                                                                  "etag"};
+  static constexpr std::array<std::string_view, 7> kRouteKeys = {
+      "etag", "from", "to", "period_us", "hop_deadline_us",
+      "e2e_deadline_us", "dlc"};
+  static constexpr std::array<std::string_view, 8> kStreamKeys = {
+      "segment", "class", "node", "etag", "dlc", "period_us", "deadline_us",
+      "priority"};
+
+  bool have_header = false;
+  TopologySpec spec;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls{line};
+    std::string word;
+    if (!(ls >> word)) continue;
+
+    if (word == "topology") {
+      if (have_header) return fail("duplicate 'topology' header");
+      std::string version;
+      if (!(ls >> version) || version != "v1")
+        return fail("unsupported topology version");
+      std::string extra;
+      if (ls >> extra)
+        return fail("trailing token '" + extra + "' after header");
+      have_header = true;
+      continue;
+    }
+    if (!have_header) return fail("missing 'topology v1' header");
+
+    std::string rest;
+    std::getline(ls, rest);
+
+    if (word == "segment") {
+      const auto kv = parse_kv_tokens(rest, kSegmentKeys);
+      if (!kv) return fail("malformed segment line: " + kv.error());
+      SegmentSpec s;
+      s.line = line_no;
+      const auto id = kv->get_int_in("id", 0, kMaxDeclaredId);
+      if (!id) return fail("bad segment: " + id.error());
+      s.id = static_cast<int>(*id);
+      if (kv->contains("calendar")) {
+        const auto cal = kv->get_str("calendar");
+        if (!cal) return fail("bad segment: " + cal.error());
+        s.calendar = *cal;
+      }
+      if (kv->contains("precision_ns")) {
+        const auto p = kv->get_int_in(
+            "precision_ns", 0, std::numeric_limits<std::int64_t>::max());
+        if (!p) return fail("bad segment: " + p.error());
+        s.precision = Duration::nanoseconds(*p);
+      }
+      spec.segments.push_back(std::move(s));
+      continue;
+    }
+
+    if (word == "link") {
+      const auto kv = parse_kv_tokens(rest, kLinkKeys);
+      if (!kv) return fail("malformed link line: " + kv.error());
+      LinkSpec l;
+      l.line = line_no;
+      const auto id = kv->get_int_in("id", 0, kMaxDeclaredId);
+      if (!id) return fail("bad link: " + id.error());
+      l.id = static_cast<int>(*id);
+      const auto a = kv->get_int_in("a", 0, kMaxDeclaredId);
+      if (!a) return fail("bad link: " + a.error());
+      l.a = static_cast<int>(*a);
+      const auto b = kv->get_int_in("b", 0, kMaxDeclaredId);
+      if (!b) return fail("bad link: " + b.error());
+      l.b = static_cast<int>(*b);
+      // latency 0 parses fine: a zero forward latency is a *semantic*
+      // problem (RTEC-T006 — it stalls the conservative engine), and the
+      // verifier must be able to describe it.
+      const auto lat = kv->get_int_in("latency_us", 0, kMaxDurationUs);
+      if (!lat) return fail("bad link: " + lat.error());
+      l.latency = Duration::microseconds(*lat);
+      spec.links.push_back(l);
+      continue;
+    }
+
+    if (word == "bridge") {
+      const auto kv = parse_kv_tokens(rest, kBridgeKeys);
+      if (!kv) return fail("malformed bridge line: " + kv.error());
+      BridgeSpec b;
+      b.line = line_no;
+      const auto link = kv->get_int_in("link", 0, kMaxDeclaredId);
+      if (!link) return fail("bad bridge: " + link.error());
+      b.link = static_cast<int>(*link);
+      const auto etag = kv->get_int_in("etag", 0, kMaxEtag);
+      if (!etag) return fail("bad bridge: " + etag.error());
+      b.etag = static_cast<Etag>(*etag);
+      spec.bridges.push_back(b);
+      continue;
+    }
+
+    if (word == "route") {
+      const auto kv = parse_kv_tokens(rest, kRouteKeys);
+      if (!kv) return fail("malformed route line: " + kv.error());
+      RouteSpec r;
+      r.line = line_no;
+      const auto etag = kv->get_int_in("etag", 0, kMaxEtag);
+      if (!etag) return fail("bad route: " + etag.error());
+      r.etag = static_cast<Etag>(*etag);
+      const auto from = kv->get_int_in("from", 0, kMaxDeclaredId);
+      if (!from) return fail("bad route: " + from.error());
+      r.from = static_cast<int>(*from);
+      const auto to = kv->get_int_in("to", 0, kMaxDeclaredId);
+      if (!to) return fail("bad route: " + to.error());
+      r.to = static_cast<int>(*to);
+      const auto period = kv->get_int_in("period_us", 1, kMaxDurationUs);
+      if (!period) return fail("bad route: " + period.error());
+      r.period = Duration::microseconds(*period);
+      const auto hop = kv->get_int_in("hop_deadline_us", 1, kMaxDurationUs);
+      if (!hop) return fail("bad route: " + hop.error());
+      r.hop_deadline = Duration::microseconds(*hop);
+      const auto e2e = kv->get_int_in("e2e_deadline_us", 1, kMaxDurationUs);
+      if (!e2e) return fail("bad route: " + e2e.error());
+      r.e2e_deadline = Duration::microseconds(*e2e);
+      if (kv->contains("dlc")) {
+        const auto dlc = kv->get_int_in("dlc", 0, 8);
+        if (!dlc) return fail("bad route: " + dlc.error());
+        r.dlc = static_cast<int>(*dlc);
+      }
+      spec.routes.push_back(r);
+      continue;
+    }
+
+    if (word == "stream") {
+      const auto kv = parse_kv_tokens(rest, kStreamKeys);
+      if (!kv) return fail("malformed stream line: " + kv.error());
+      const auto segment = kv->get_int_in("segment", 0, kMaxDeclaredId);
+      if (!segment) return fail("bad stream: " + segment.error());
+      auto s = parse_stream_fields(*kv);
+      if (!s) return fail("bad stream: " + s.error());
+      s->line = line_no;
+      spec.streams.push_back({static_cast<int>(*segment), std::move(*s)});
+      continue;
+    }
+
+    return fail("unknown directive '" + word + "'");
+  }
+
+  if (!have_header) {
+    line_no = 0;
+    return fail("empty input");
+  }
+  return spec;
+}
+
+}  // namespace rtec::analysis

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario_spec.hpp"
+#include "sched/calendar_io.hpp"
+#include "util/time_types.hpp"
+
+/// \file topology.hpp
+/// Declarative description of a gateway-connected multi-segment deployment
+/// — the input of the whole-topology static verifier (analysis/verify.hpp,
+/// tools/rtec_verify). A single calendar image describes one segment; this
+/// format describes how segments are wired together: which gateway links
+/// exist, which event tags each gateway bridges, which cross-segment
+/// channels (routes) the deployment promises end-to-end deadlines for, and
+/// the per-segment facts (calendar image, measured clock precision, local
+/// background traffic) the quantitative rules need.
+///
+/// Text format (one directive per line, `#` starts a comment):
+///
+///   topology v1
+///   segment id=0 calendar=seg0.cal precision_ns=33000
+///   segment id=1 precision_ns=33000
+///   link id=0 a=0 b=1 latency_us=250
+///   bridge link=0 etag=40
+///   route etag=40 from=0 to=1 period_us=7000 hop_deadline_us=10000
+///         ... e2e_deadline_us=30000 dlc=8     (one line; wrapped for width)
+///   stream segment=1 class=srt node=3 etag=20 dlc=8 period_us=5000
+///
+/// Like the calendar-image and scenario formats, parsing is strict: unknown
+/// directives or keys, duplicate keys and malformed values are hard errors
+/// with a line number. *Semantic* problems — dangling segment references,
+/// routing cycles, infeasible bandwidth — parse fine and are the verifier's
+/// findings (rules RTEC-T001..T011), because the verifier must be able to
+/// describe a broken topology, not merely refuse to read it.
+///
+/// `calendar=` values are file references resolved by the caller (the CLI
+/// resolves them relative to the topology file); the library works on a
+/// TopologyInput that pairs the spec with already-parsed CalendarImages.
+
+namespace rtec::analysis {
+
+/// One network segment (field bus) of the deployment.
+struct SegmentSpec {
+  int id = 0;
+  /// Calendar image reference (empty = segment runs no HRT reservations).
+  std::string calendar;
+  /// Measured worst-case clock disagreement Π of this segment's nodes.
+  std::optional<Duration> precision;
+  int line = 0;
+};
+
+/// One bidirectional gateway link between two segments. `latency` is the
+/// gateway's store-and-forward delay (Scenario::link_gateway) — and, under
+/// the sharded engine, the conservative lookahead the link contributes.
+struct LinkSpec {
+  int id = 0;
+  int a = 0;
+  int b = 0;
+  Duration latency = Duration::zero();
+  int line = 0;
+};
+
+/// The gateway of `link` bridges event tag `etag` (both directions).
+struct BridgeSpec {
+  int link = 0;
+  Etag etag = 0;
+  int line = 0;
+};
+
+/// One cross-segment SRT event channel with an end-to-end promise: events
+/// published on segment `from` must reach subscribers on segment `to`
+/// within `e2e_deadline`. `hop_deadline` is the per-segment transmission
+/// deadline (the gateway's fwd_deadline on every hop), `period` the
+/// minimum inter-arrival time at the publisher.
+struct RouteSpec {
+  Etag etag = 0;
+  int from = 0;
+  int to = 0;
+  Duration period = Duration::zero();
+  Duration hop_deadline = Duration::zero();
+  Duration e2e_deadline = Duration::zero();
+  int dlc = 8;
+  int line = 0;
+};
+
+/// Declared local (single-segment) background traffic, for the bandwidth
+/// feasibility rules. Reuses the scenario format's stream shape plus the
+/// segment it lives on.
+struct TopologyStream {
+  int segment = 0;
+  StreamSpec stream;
+};
+
+struct TopologySpec {
+  std::vector<SegmentSpec> segments;
+  std::vector<LinkSpec> links;
+  std::vector<BridgeSpec> bridges;
+  std::vector<RouteSpec> routes;
+  std::vector<TopologyStream> streams;
+
+  /// Declared segment lookup; nullptr when `id` is not a declared segment.
+  [[nodiscard]] const SegmentSpec* segment_by_id(int id) const;
+  /// Declared link lookup; nullptr when `id` is not a declared link (or is
+  /// declared more than once — duplicates are RTEC-T001 findings).
+  [[nodiscard]] const LinkSpec* link_by_id(int id) const;
+};
+
+/// Strict syntactic parse of a topology description; reuses CalendarIoError
+/// so CLI diagnostics are uniform across all three input formats.
+[[nodiscard]] Expected<TopologySpec, CalendarIoError> parse_topology_spec(
+    const std::string& text);
+
+/// The verifier's working input: the parsed spec plus the per-segment
+/// calendar images the caller resolved (keyed by declared segment id).
+/// Segments without an entry are verified structurally only — the
+/// bandwidth rules then see an empty reservation calendar.
+struct TopologyInput {
+  TopologySpec spec;
+  std::map<int, CalendarImage> calendars;
+};
+
+}  // namespace rtec::analysis

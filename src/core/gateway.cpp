@@ -6,17 +6,19 @@ namespace rtec {
 
 Expected<void, ChannelError> Gateway::bridge_srt(Subject subject,
                                                  Duration fwd_deadline,
-                                                 Duration fwd_expiration) {
+                                                 Duration fwd_expiration,
+                                                 bool forward_transit) {
   const auto ab = make_srt_half(a_, b_, *link_.a_to_b, subject, fwd_deadline,
-                                fwd_expiration, dir_a_to_b_);
+                                fwd_expiration, forward_transit, dir_a_to_b_);
   if (!ab) return ab;
   return make_srt_half(b_, a_, *link_.b_to_a, subject, fwd_deadline,
-                       fwd_expiration, dir_b_to_a_);
+                       fwd_expiration, forward_transit, dir_b_to_a_);
 }
 
 Expected<void, ChannelError> Gateway::make_srt_half(
     Node& from, Node& to, HandoffChannel& chan, Subject subject,
-    Duration fwd_deadline, Duration fwd_expiration, DirectionCounters& dir) {
+    Duration fwd_deadline, Duration fwd_expiration, bool forward_transit,
+    DirectionCounters& dir) {
   auto bridge = std::make_unique<SrtBridge>();
   bridge->sub = std::make_unique<Srtec>(from.middleware());
   bridge->pub = std::make_unique<Srtec>(to.middleware());
@@ -33,18 +35,23 @@ Expected<void, ChannelError> Gateway::make_srt_half(
   Srtec* sub = bridge->sub.get();
   Srtec* pub = bridge->pub.get();
   Simulator* from_sim = &from.middleware().context().sim;
-  // LocalOnly is essential on the gateway's own subscription: without it
-  // the A-side gateway stack would pick up events forwarded *into* A by
-  // the B→A half and bounce them back (a two-gateway loop; with one
-  // gateway object the sender-exclusion already prevents it, but the
-  // filter keeps the design loop-free for any topology).
+  // LocalOnly on the gateway's own subscription pins the subject to a
+  // single hop: remote-origin traffic (events another gateway forwarded
+  // into this segment) is ignored, which keeps the design loop-free for
+  // any topology. Transit mode drops the filter so a chain of gateways
+  // can relay the subject hop by hop — the near segment's own forwards
+  // cannot echo back regardless, because a CAN sender never receives its
+  // own frames; only a *cycle* of bridges could loop, and callers enable
+  // transit only on statically verified (acyclic, RTEC-T002) topologies.
   //
   // Draining the delivery queue in one pass keeps FIFO order: each event
   // gets the channel's next sequence number and the same deterministic
   // release stamp (delivery time + forward latency), so bursts delivered
   // in one slot are re-published on the far side in arrival order.
+  AttributeList sub_attrs;
+  if (!forward_transit) sub_attrs.add(attr::LocalOnly{});
   const auto subscribed = bridge->sub->subscribe(
-      subject, AttributeList{attr::LocalOnly{}},
+      subject, sub_attrs,
       [sub, pub, &chan, &dir, from_sim] {
         while (auto event = sub->getEvent()) {
           chan.post(from_sim->now(),

@@ -71,9 +71,20 @@ class Gateway {
   /// fresh transmission deadline `fwd_deadline` (and expiration
   /// `fwd_expiration`) relative to the forwarding instant — the origin
   /// network's deadline is not meaningful on the next segment's timeline.
+  ///
+  /// With `forward_transit` false (the default) the gateway only forwards
+  /// events that originate on the near segment: traffic another gateway
+  /// forwarded *into* that segment is ignored, so a subject never travels
+  /// more than one hop. Setting it true lifts that filter and enables
+  /// multi-hop routes across a chain of gateways. Transit forwarding is
+  /// only loop-free when the subject's bridge graph is acyclic (a cycle
+  /// would circulate every event forever) — exactly the property
+  /// rtec-verify's RTEC-T002 check establishes statically, so only bridge
+  /// transit on verified topologies.
   Expected<void, ChannelError> bridge_srt(Subject subject,
                                           Duration fwd_deadline,
-                                          Duration fwd_expiration);
+                                          Duration fwd_expiration,
+                                          bool forward_transit = false);
 
   /// Bridges an NRT subject in both directions (fragmented payloads are
   /// reassembled here and re-fragmented on the far side).
@@ -111,6 +122,7 @@ class Gateway {
                                              Subject subject,
                                              Duration fwd_deadline,
                                              Duration fwd_expiration,
+                                             bool forward_transit,
                                              DirectionCounters& dir);
   Expected<void, ChannelError> make_nrt_half(Node& from, Node& to,
                                              HandoffChannel& chan,

@@ -284,5 +284,51 @@ TEST_F(GatewayFixture, IndependentCalendarsPerNetwork) {
   EXPECT_EQ(rx, 1);
 }
 
+// Three segments in a chain, two gateways. Without transit forwarding a
+// subject travels exactly one hop: the default gateway subscription is
+// LocalOnly, so the second gateway ignores what the first forwarded into
+// the middle segment. With forward_transit the event relays end to end,
+// and the no-echo property still holds (sender exclusion, acyclic chain).
+TEST(GatewayTransit, ChainRelaysOnlyWithForwardTransit) {
+  for (const bool transit : {false, true}) {
+    Scenario::Config cfg;
+    cfg.networks = 3;
+    Scenario scn{cfg};
+    Node& pub_node = scn.add_node(1, perfect(), 0);
+    Node& sub_node = scn.add_node(11, perfect(), 2);
+    Node& g0a = scn.add_node(20, perfect(), 0);
+    Node& g0b = scn.add_node(21, perfect(), 1);
+    Node& g1a = scn.add_node(22, perfect(), 1);
+    Node& g1b = scn.add_node(23, perfect(), 2);
+    Gateway gw0{g0a, g0b, scn.link_gateway(g0a, g0b, 250_us)};
+    Gateway gw1{g1a, g1b, scn.link_gateway(g1a, g1b, 250_us)};
+    const Subject subj = subject_of("chain/data");
+    ASSERT_TRUE(gw0.bridge_srt(subj, 5_ms, 10_ms, transit).has_value());
+    ASSERT_TRUE(gw1.bridge_srt(subj, 5_ms, 10_ms, transit).has_value());
+
+    Srtec pub{pub_node.middleware()};
+    ASSERT_TRUE(pub.announce(subj, {}, nullptr).has_value());
+    Srtec sub{sub_node.middleware()};
+    int rx = 0;
+    ASSERT_TRUE(sub.subscribe(subj, {},
+                              [&] {
+                                while (sub.getEvent()) ++rx;
+                              },
+                              nullptr)
+                    .has_value());
+    Event e;
+    e.content = {0x42};
+    ASSERT_TRUE(pub.publish(std::move(e)).has_value());
+    scn.run_for(50_ms);
+
+    EXPECT_EQ(rx, transit ? 1 : 0) << "transit=" << transit;
+    EXPECT_EQ(gw0.counters().forwarded_a_to_b, 1u);
+    EXPECT_EQ(gw1.counters().forwarded_a_to_b, transit ? 1u : 0u);
+    // Nothing circulates back toward the publisher in either mode.
+    EXPECT_EQ(gw0.counters().forwarded_b_to_a, 0u);
+    EXPECT_EQ(gw1.counters().forwarded_b_to_a, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace rtec

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/oracle.hpp"
+#include "analysis/topology.hpp"
+#include "analysis/verify.hpp"
+
+// Differential-oracle tests: the static verifier's composed end-to-end
+// bounds are checked against the sharded simulator on the same chain-4
+// and star-3 shapes the engine's bit-identity tests pin down. Clean
+// topologies must produce zero RTEC-T011 findings across every seed
+// (bounds hold, admissions justified); a rejected topology must be
+// *observably* bad in simulation (the rejection is not conservatism).
+
+namespace rtec::analysis {
+namespace {
+
+using namespace rtec::literals;
+
+TopologyInput input_of(const std::string& text) {
+  const auto spec = parse_topology_spec(text);
+  EXPECT_TRUE(spec.has_value()) << (spec ? "" : spec.error().message);
+  TopologyInput input;
+  if (spec) input.spec = *spec;
+  return input;
+}
+
+/// Four segments in a chain, every link bridging the end-to-end subject;
+/// a second route only spans the middle link; local chatter on two
+/// segments. All budgets comfortable — the verifier accepts.
+constexpr const char* kChain4 = R"(topology v1
+segment id=0
+segment id=1
+segment id=2
+segment id=3
+link id=0 a=0 b=1 latency_us=250
+link id=1 a=1 b=2 latency_us=250
+link id=2 a=2 b=3 latency_us=250
+bridge link=0 etag=40
+bridge link=1 etag=40
+bridge link=2 etag=40
+bridge link=1 etag=41
+route etag=40 from=0 to=3 period_us=7000 hop_deadline_us=10000 e2e_deadline_us=80000
+route etag=41 from=1 to=2 period_us=9000 hop_deadline_us=10000 e2e_deadline_us=30000
+stream segment=0 class=srt node=3 etag=20 dlc=8 period_us=5000
+stream segment=2 class=srt node=5 etag=21 dlc=8 period_us=4000
+)";
+
+/// Hub-and-spoke: segment 0 is the hub, the spoke-to-spoke route crosses
+/// both links through the hub.
+constexpr const char* kStar3 = R"(topology v1
+segment id=0
+segment id=1
+segment id=2
+link id=0 a=0 b=1 latency_us=250
+link id=1 a=0 b=2 latency_us=250
+bridge link=0 etag=40
+bridge link=1 etag=40
+route etag=40 from=1 to=2 period_us=7000 hop_deadline_us=10000 e2e_deadline_us=60000
+stream segment=0 class=srt node=3 etag=20 dlc=8 period_us=5000
+)";
+
+void expect_clean_oracle(const char* topo, const char* what) {
+  OracleOptions options;
+  options.seeds = {1, 2, 3};
+  options.sim_time = 100_ms;
+  const TopologyInput input = input_of(topo);
+
+  // Precondition: the verifier itself accepts the topology.
+  ASSERT_FALSE(verify_topology(input).has_errors()) << what;
+
+  const OracleResult result = run_differential_oracle(input, options);
+  ASSERT_TRUE(result.ran) << what << ": " << result.skip_reason;
+  EXPECT_TRUE(result.report.findings.empty()) << what;
+  ASSERT_EQ(result.observations.size(),
+            input.spec.routes.size() * options.seeds.size())
+      << what;
+  for (const RouteObservation& ob : result.observations) {
+    EXPECT_TRUE(ob.statically_admitted) << what;
+    EXPECT_GT(ob.delivered, 0u)
+        << what << ": route " << ob.route << " seed " << ob.seed;
+    EXPECT_GT(ob.max_latency, Duration::zero()) << what;
+    EXPECT_LE(ob.max_latency, ob.bound)
+        << what << ": route " << ob.route << " seed " << ob.seed;
+    EXPECT_LE(ob.max_latency,
+              input.spec.routes[ob.route].e2e_deadline)
+        << what;
+  }
+}
+
+TEST(VerifyOracle, ChainOfFourSegmentsAgreesAcrossSeeds) {
+  expect_clean_oracle(kChain4, "chain4");
+}
+
+TEST(VerifyOracle, StarOfThreeSegmentsAgreesAcrossSeeds) {
+  expect_clean_oracle(kStar3, "star3");
+}
+
+TEST(VerifyOracle, RejectedDeadlineIsObservablyMissedInSimulation) {
+  // e2e deadline 300 µs over a 250 µs gateway plus two frame times: the
+  // verifier rejects (RTEC-T009) and the simulation confirms the miss on
+  // every seed — no verifier-rejected deadline runs cleanly.
+  const TopologyInput input = input_of(R"(topology v1
+segment id=0
+segment id=1
+link id=0 a=0 b=1 latency_us=250
+bridge link=0 etag=40
+route etag=40 from=0 to=1 period_us=7000 hop_deadline_us=1000 e2e_deadline_us=300
+)");
+  const LintReport static_report = verify_topology(input);
+  bool rejected = false;
+  for (const Finding& f : static_report.findings)
+    if (f.rule == Rule::kE2eDeadline) rejected = true;
+  ASSERT_TRUE(rejected);
+
+  OracleOptions options;
+  options.seeds = {1, 2, 3};
+  options.sim_time = 100_ms;
+  const OracleResult result = run_differential_oracle(input, options);
+  ASSERT_TRUE(result.ran) << result.skip_reason;
+  for (const RouteObservation& ob : result.observations) {
+    EXPECT_FALSE(ob.statically_admitted);
+    ASSERT_GT(ob.delivered, 0u);
+    EXPECT_GT(ob.max_latency, input.spec.routes[0].e2e_deadline)
+        << "seed " << ob.seed;
+    // Within the (rejecting) verifier's bound nonetheless: the bound
+    // derivation itself stays sound.
+    EXPECT_LE(ob.max_latency, ob.bound) << "seed " << ob.seed;
+  }
+  EXPECT_TRUE(result.report.findings.empty());
+}
+
+TEST(VerifyOracle, OverloadedSegmentContradictsItsHopBound) {
+  // 8-byte frames every 120 µs cannot fit a 1 Mbit/s bus: the verifier
+  // rejects on bandwidth (RTEC-T007) and the oracle's observed latencies
+  // blow through the hop-deadline-composed bound as the backlog grows —
+  // the two rejections corroborate each other (RTEC-T011 records that the
+  // bound, taken alone, was refuted).
+  const TopologyInput input = input_of(R"(topology v1
+segment id=0
+segment id=1
+link id=0 a=0 b=1 latency_us=250
+bridge link=0 etag=40
+route etag=40 from=0 to=1 period_us=120 hop_deadline_us=500 e2e_deadline_us=50000
+)");
+  const LintReport static_report = verify_topology(input);
+  bool overloaded = false;
+  for (const Finding& f : static_report.findings)
+    if (f.rule == Rule::kSegmentOverload &&
+        f.severity == Severity::kError)
+      overloaded = true;
+  ASSERT_TRUE(overloaded);
+
+  OracleOptions options;
+  options.seeds = {1};
+  options.sim_time = 100_ms;
+  const OracleResult result = run_differential_oracle(input, options);
+  ASSERT_TRUE(result.ran) << result.skip_reason;
+  bool bound_refuted = false;
+  for (const Finding& f : result.report.findings)
+    if (f.rule == Rule::kOracleDisagreement) bound_refuted = true;
+  EXPECT_TRUE(bound_refuted);
+}
+
+TEST(VerifyOracle, SkipsWhatItCannotSimulate) {
+  // Structural errors: nothing sound to build.
+  const OracleResult broken = run_differential_oracle(input_of(R"(topology v1
+segment id=0
+link id=0 a=0 b=7 latency_us=250
+route etag=40 from=0 to=7 period_us=1000 hop_deadline_us=1000 e2e_deadline_us=9000
+)"));
+  EXPECT_FALSE(broken.ran);
+  EXPECT_FALSE(broken.skip_reason.empty());
+
+  // Zero forward latency: the handoff channel cannot exist.
+  const OracleResult stalled = run_differential_oracle(input_of(R"(topology v1
+segment id=0
+segment id=1
+link id=0 a=0 b=1 latency_us=0
+bridge link=0 etag=40
+route etag=40 from=0 to=1 period_us=1000 hop_deadline_us=1000 e2e_deadline_us=9000
+)"));
+  EXPECT_FALSE(stalled.ran);
+  EXPECT_NE(stalled.skip_reason.find("latency"), std::string::npos);
+
+  // Calendar images attached: the oracle replays the SRT layer only.
+  TopologyInput with_calendar = input_of(R"(topology v1
+segment id=0
+segment id=1
+link id=0 a=0 b=1 latency_us=250
+bridge link=0 etag=40
+route etag=40 from=0 to=1 period_us=7000 hop_deadline_us=1000 e2e_deadline_us=9000
+)");
+  with_calendar.calendars.emplace(0, CalendarImage{});
+  const OracleResult hrt = run_differential_oracle(with_calendar);
+  EXPECT_FALSE(hrt.ran);
+  EXPECT_NE(hrt.skip_reason.find("calendar"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtec::analysis

@@ -22,12 +22,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <string>
 
 #include "analysis/lint.hpp"
+#include "tool_io.hpp"
 
 using namespace rtec;
 using namespace rtec::analysis;
@@ -43,11 +42,10 @@ int usage(const char* argv0) {
 }
 
 std::optional<std::string> slurp(const char* path) {
-  std::ifstream in{path};
-  if (!in) return std::nullopt;
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  std::string error;
+  auto text = tools::slurp_file(path, error);
+  if (!text) std::fprintf(stderr, "%s\n", error.c_str());
+  return text;
 }
 
 int emit(const LintReport& report, bool json, bool strict) {
@@ -96,10 +94,7 @@ int main(int argc, char** argv) {
   if (calendar_path == nullptr) return usage(argv[0]);
 
   const auto calendar_text = slurp(calendar_path);
-  if (!calendar_text) {
-    std::fprintf(stderr, "cannot open %s\n", calendar_path);
-    return 2;
-  }
+  if (!calendar_text) return 2;
   const auto image = parse_calendar_image(*calendar_text);
   if (!image) return emit(parse_failure_report(image.error()), json, strict);
 
@@ -107,10 +102,7 @@ int main(int argc, char** argv) {
     return emit(lint_calendar(*image, options), json, strict);
 
   const auto scenario_text = slurp(scenario_path);
-  if (!scenario_text) {
-    std::fprintf(stderr, "cannot open %s\n", scenario_path);
-    return 2;
-  }
+  if (!scenario_text) return 2;
   const auto spec = parse_scenario_spec(*scenario_text);
   if (!spec) return emit(parse_failure_report(spec.error()), json, strict);
 

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+/// \file tool_io.hpp
+/// File slurping shared by the CLI front-ends (rtec_lint, rtec_verify).
+/// A tool must never turn an unreadable input into an empty document and
+/// lint *that* — a missing file, a directory, or a failing read each get a
+/// distinct diagnostic and a usage-style exit (2), so CI failures say what
+/// actually went wrong instead of "empty input".
+
+namespace rtec::tools {
+
+/// Reads a whole file; on failure returns nullopt and fills `error` with a
+/// one-line diagnostic naming the path and the failure mode.
+inline std::optional<std::string> slurp_file(const std::string& path,
+                                             std::string& error) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    error = path + " is a directory, not a file";
+    return std::nullopt;
+  }
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) {  // stream-level read error (I/O failure mid-read)
+    error = "read error on " + path;
+    return std::nullopt;
+  }
+  return text.str();
+}
+
+}  // namespace rtec::tools
