@@ -1,19 +1,31 @@
-// Parallel multi-segment engine: wall-time of a gateway-connected chain of
-// CAN segments under the sequential single-kernel run vs the sharded
-// conservative engine (one kernel per segment, Config::shards). Both runs
-// simulate the identical workload — and produce bit-identical frame traces
-// (tests/test_multiseg.cpp) — so the speedup column isolates the engine.
+// Parallel multi-segment engine at city scale: generated topologies
+// (sim/topology_gen.hpp — chain, fleet-of-stars, campus grid, backbone
+// tree) with a busy/light segment mix, measured three ways per point:
+//
+//   seq   — one shared kernel (shards=1), the sequential reference
+//   par   — one kernel per segment, per-link lookahead (the default)
+//   glob  — one kernel per segment, legacy global-minimum lookahead
+//
+// All three runs simulate the identical workload and produce bit-identical
+// frame traces (tests/test_multiseg.cpp), so `speedup` isolates the engine
+// and `epoch_reduction` isolates the per-link horizon policy: on weakly
+// coupled topologies a busy segment's horizon is set by its idle
+// neighbours' progress, not by the globally slowest shard, so the engine
+// needs far fewer epochs to cover the same simulated time.
 //
 // Points run SERIALLY (never on the sweep pool): the parallel engine's own
 // worker threads are the thing being measured, so nothing else may compete
 // for cores. RTEC_BENCH_THREADS caps the engine's worker count (default:
 // one per segment, up to the hardware). RTEC_BENCH_QUICK=1 shrinks the
 // grid for CI smoke runs. Speedup is meaningless on 1-core hosts — the
-// `host_cpus` metadata records what the numbers were measured on.
+// `host_cpus` metadata records what the numbers were measured on; the
+// epoch columns are scheduling counts and are host-independent.
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,9 +34,9 @@
 #include "bench/common.hpp"
 #include "bench/sweep.hpp"
 #include "core/gateway.hpp"
-#include "core/hrtec.hpp"
 #include "core/scenario.hpp"
 #include "core/srtec.hpp"
+#include "sim/topology_gen.hpp"
 #include "time/periodic.hpp"
 #include "util/random.hpp"
 #include "util/task_pool.hpp"
@@ -39,134 +51,100 @@ struct Run {
   double frames = 0;
   double epochs = 0;
   double handoffs = 0;
+  double shard_runs = 0;
 };
 
-/// Chain of `segments` segments, `nodes_per_seg` nodes each: per-segment
-/// clock sync + SRT Poisson chatter (~40% of each bus) + one HRT stream
-/// per 4 nodes, and one bridged SRT subject per gateway link so traffic
-/// continuously crosses shard boundaries.
-Run run_chain(int segments, int nodes_per_seg, int shards, unsigned threads,
-              Duration sim_time) {
+/// City workload over a generated topology: two regular nodes per segment
+/// with per-segment clock sync, one bridged SRT subject per gateway link,
+/// and Poisson chatter on every fourth segment. The busy/light mix is the
+/// point — it is what per-link lookahead exploits and global-min cannot.
+Run run_city(const TopoSpec& topo, int shards, unsigned threads,
+             LookaheadMode mode, Duration sim_time) {
   TaskPool pool;
   Scenario::Config cfg;
-  cfg.networks = segments;
+  cfg.networks = topo.segments;
   cfg.shards = shards;
   cfg.threads = threads;
+  cfg.lookahead = mode;
   cfg.calendar.round_length = 10_ms;
   Scenario scn{cfg};
-  Rng setup_rng{static_cast<std::uint64_t>(segments * 1000 + nodes_per_seg)};
+  Rng setup_rng{topo.seed + 0xBE7Cu};
 
-  // Node ids are 7-bit (kMaxNodeId = 127): regular nodes fill 1..96,
-  // gateway stacks sit at 100+ — which bounds the grid to 8 segments of
-  // at most 12 nodes.
-  assert(segments * nodes_per_seg <= 96 && segments <= 8);
-  const auto node_id = [nodes_per_seg](int net, int k) {
-    return static_cast<NodeId>(net * nodes_per_seg + k + 1);
-  };
-  for (int net = 0; net < segments; ++net) {
-    for (int k = 0; k < nodes_per_seg; ++k) {
+  for (int net = 0; net < topo.segments; ++net) {
+    for (NodeId k : {NodeId{1}, NodeId{2}}) {
       Node::ClockParams p;
       p.initial_offset = Duration::microseconds(setup_rng.uniform_int(-20, 20));
       p.drift_ppb = setup_rng.uniform_int(-80'000, 80'000);
       p.granularity = 1_us;
-      scn.add_node(node_id(net, k), p, net);
+      scn.add_node(k, p, net);
     }
   }
 
+  std::vector<int> next_gw_id(static_cast<std::size_t>(topo.segments), 100);
   std::vector<std::unique_ptr<Gateway>> gateways;
   std::vector<std::unique_ptr<Srtec>> stacks;
   std::vector<std::unique_ptr<PeriodicLocalTask>> tasks;
-  for (int l = 0; l + 1 < segments; ++l) {
-    Node& ga = scn.add_node(static_cast<NodeId>(100 + 2 * l), {}, l);
-    Node& gb = scn.add_node(static_cast<NodeId>(101 + 2 * l), {}, l + 1);
+  const auto make_stack = [&](NodeId id, int net) {
+    stacks.push_back(std::make_unique<Srtec>(scn.node(id, net).middleware()));
+    return stacks.back().get();
+  };
+
+  for (std::size_t l = 0; l < topo.links.size(); ++l) {
+    const TopoLink& link = topo.links[l];
+    Node& ga = scn.add_node(
+        static_cast<NodeId>(next_gw_id[static_cast<std::size_t>(link.a)]++),
+        {}, link.a);
+    Node& gb = scn.add_node(
+        static_cast<NodeId>(next_gw_id[static_cast<std::size_t>(link.b)]++),
+        {}, link.b);
     gateways.push_back(std::make_unique<Gateway>(
-        ga, gb, scn.link_gateway(ga, gb, /*forward latency*/ 250_us)));
-    const Subject subj = subject_of("multiseg/x" + std::to_string(l));
+        ga, gb, scn.link_gateway(ga, gb, link.latency)));
+    const Subject subj = subject_of("city/x" + std::to_string(l));
     (void)gateways.back()->bridge_srt(subj, 10_ms, 30_ms);
-    stacks.push_back(std::make_unique<Srtec>(
-        scn.node(node_id(l, 0)).middleware()));
-    Srtec* pub = stacks.back().get();
+    Srtec* pub = make_stack(NodeId{1}, link.a);
     (void)pub->announce(subj, AttributeList{attr::Deadline{10_ms}}, nullptr);
-    stacks.push_back(std::make_unique<Srtec>(
-        scn.node(node_id(l + 1, 1)).middleware()));
-    Srtec* sub = stacks.back().get();
+    Srtec* sub = make_stack(NodeId{2}, link.b);
     (void)sub->subscribe(subj, {}, [sub] { (void)sub->getEvent(); }, nullptr);
+    std::uint8_t payload = static_cast<std::uint8_t>(l);
     tasks.push_back(std::make_unique<PeriodicLocalTask>(
-        scn.node(node_id(l, 0)).clock(), 5_ms, [pub] {
+        scn.node(NodeId{1}, link.a).clock(),
+        5_ms + Duration::milliseconds(static_cast<std::int64_t>(l % 5)),
+        [pub, payload]() mutable {
           Event e;
-          e.content = {0xC5, 0x01};
+          e.content = {payload++, 0x42};
           (void)pub->publish(std::move(e));
         }));
     tasks.back()->start();
   }
 
-  for (int net = 0; net < segments; ++net)
-    (void)scn.enable_clock_sync(node_id(net, nodes_per_seg - 1), 500_us);
+  for (int net = 0; net < topo.segments; ++net)
+    (void)scn.enable_clock_sync_on(net, NodeId{2}, 500_us);
 
-  // One HRT stream per 4 nodes, per segment.
-  std::vector<std::unique_ptr<Hrtec>> hrt;
-  for (int net = 0; net < segments; ++net) {
-    for (int i = 0; i < nodes_per_seg / 4; ++i) {
-      const std::string name =
-          "multiseg/h" + std::to_string(net) + "_" + std::to_string(i);
-      const Etag etag = *scn.binding().bind(subject_of(name));
-      SlotSpec slot;
-      slot.lst_offset = 1_ms + Duration::microseconds(600) * i;
-      slot.dlc = 8;
-      slot.etag = etag;
-      slot.publisher = node_id(net, i);
-      if (!scn.calendar(net).reserve(slot).has_value()) break;
-      hrt.push_back(
-          std::make_unique<Hrtec>(scn.node(node_id(net, i)).middleware()));
-      Hrtec* pub = hrt.back().get();
-      (void)pub->announce(subject_of(name), {}, nullptr);
-      hrt.push_back(std::make_unique<Hrtec>(
-          scn.node(node_id(net, nodes_per_seg - 1 - i % 4)).middleware()));
-      Hrtec* sub = hrt.back().get();
-      (void)sub->subscribe(subject_of(name),
-                           AttributeList{attr::QueueCapacity{4}},
-                           [sub] { (void)sub->getEvent(); }, nullptr);
-      tasks.push_back(std::make_unique<PeriodicLocalTask>(
-          scn.node(node_id(net, i)).clock(), 10_ms, [pub] {
-            Event e;
-            e.content = {1, 2, 3, 4, 5, 6, 7, 8};
-            (void)pub->publish(std::move(e));
-          }));
-      tasks.back()->start();
-    }
-  }
-
-  // SRT chatter at ~40% aggregate load per segment, per-segment Rng so the
-  // draw sequences are shard-invariant.
+  // Poisson chatter on every fourth segment: the busy minority whose
+  // horizons per-link lookahead decouples from the idle majority.
   std::vector<std::unique_ptr<Rng>> seg_rngs;
-  for (int net = 0; net < segments; ++net)
-    seg_rngs.push_back(
-        std::make_unique<Rng>(static_cast<std::uint64_t>(net) * 77 + 13));
-  const double mean_gap_ns = 160e3 * nodes_per_seg / 0.4;
-  for (int net = 0; net < segments; ++net) {
-    for (int k = 0; k < nodes_per_seg; ++k) {
-      const std::string name =
-          "multiseg/s" + std::to_string(net) + "_" + std::to_string(k);
-      stacks.push_back(std::make_unique<Srtec>(
-          scn.node(node_id(net, k)).middleware()));
-      Srtec* pub = stacks.back().get();
-      (void)pub->announce(subject_of(name), AttributeList{attr::Deadline{20_ms}},
-                          nullptr);
-      Simulator* sim = &scn.segment_sim(net);
-      Rng* rng = seg_rngs[static_cast<std::size_t>(net)].get();
-      auto* loop = pool.make();
-      *loop = [pub, sim, rng, mean_gap_ns, loop] {
-        Event e;
-        e.content = {0xA5};
-        (void)pub->publish(std::move(e));
-        sim->schedule_after(Duration::nanoseconds(static_cast<std::int64_t>(
-                                rng->exponential(mean_gap_ns))),
-                            [loop] { (*loop)(); });
-      };
-      sim->schedule_after(
-          Duration::microseconds(setup_rng.uniform_int(0, 2000)),
-          [loop] { (*loop)(); });
-    }
+  for (int net = 0; net < topo.segments; net += 4) {
+    seg_rngs.push_back(std::make_unique<Rng>(
+        topo.seed * 1000 + static_cast<std::uint64_t>(net) + 1));
+    const Subject subj = subject_of("city/c" + std::to_string(net));
+    Srtec* pub = make_stack(NodeId{1}, net);
+    (void)pub->announce(subj, AttributeList{attr::Deadline{20_ms}}, nullptr);
+    Srtec* sub = make_stack(NodeId{2}, net);
+    (void)sub->subscribe(subj, {}, [sub] { (void)sub->getEvent(); }, nullptr);
+    Simulator* sim = &scn.segment_sim(net);
+    Rng* rng = seg_rngs.back().get();
+    auto* loop = pool.make();
+    *loop = [pub, sim, rng, loop] {
+      Event e;
+      e.content = {0x5A};
+      (void)pub->publish(std::move(e));
+      sim->schedule_after(Duration::nanoseconds(static_cast<std::int64_t>(
+                              rng->exponential(0.5e6))),
+                          [loop] { (*loop)(); });
+    };
+    sim->schedule_after(
+        Duration::microseconds(setup_rng.uniform_int(100, 3000)),
+        [loop] { (*loop)(); });
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -175,11 +153,12 @@ Run run_chain(int segments, int nodes_per_seg, int shards, unsigned threads,
 
   Run r;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
-  for (int net = 0; net < segments; ++net)
+  for (int net = 0; net < topo.segments; ++net)
     r.frames += static_cast<double>(scn.bus(net).frames_ok() +
                                     scn.bus(net).frames_error());
   r.epochs = static_cast<double>(scn.shard_engine().stats().epochs);
   r.handoffs = static_cast<double>(scn.shard_engine().stats().handoffs);
+  r.shard_runs = static_cast<double>(scn.shard_engine().stats().shard_runs);
   return r;
 }
 
@@ -192,79 +171,102 @@ Run median_of(int reps, const std::function<Run()>& fn) {
   return runs[runs.size() / 2];
 }
 
+struct Point {
+  TopoShape shape;
+  int segments;
+};
+
 }  // namespace
 
 int main() {
   const bool quick = bench::quick_mode();
   const Duration sim_time =
-      quick ? Duration::seconds(1) : Duration::seconds(4);
-  const int nodes_per_seg = quick ? 8 : 12;
+      quick ? Duration::milliseconds(300) : Duration::seconds(1);
   const int reps = quick ? 1 : 3;
-  const std::vector<int> seg_counts =
-      quick ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<Point> points =
+      quick ? std::vector<Point>{{TopoShape::kChain, 4},
+                                 {TopoShape::kCampusGrid, 16}}
+            : std::vector<Point>{{TopoShape::kChain, 4},
+                                 {TopoShape::kChain, 8},
+                                 {TopoShape::kChain, 32},
+                                 {TopoShape::kFleetStar, 64},
+                                 {TopoShape::kBackboneTree, 64},
+                                 {TopoShape::kCampusGrid, 64},
+                                 {TopoShape::kCampusGrid, 128},
+                                 {TopoShape::kCampusGrid, 256}};
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
 
-  bench::title("multiseg", "sharded engine vs single kernel, chain topology");
-  bench::note("%lld simulated seconds, %d nodes/segment; per-segment clock",
-              static_cast<long long>(sim_time.ns() / 1'000'000'000),
-              nodes_per_seg);
-  bench::note("sync, ~40%% SRT load + HRT streams, bridged SRT across every");
-  bench::note("gateway (250 us forward latency = lookahead); %u host cpus",
+  bench::title("multiseg",
+               "sharded engine at city scale, generated topologies");
+  bench::note("%lld simulated ms per run; 2 nodes/segment + gateways,",
+              static_cast<long long>(sim_time.ns() / 1'000'000));
+  bench::note("per-segment clock sync, bridged SRT on every link, Poisson");
+  bench::note("chatter on every 4th segment (busy/light mix); %u host cpus",
               hw);
 
   bench::BenchJson bj{"multiseg"};
   bj.meta("generated_by", "bench_multiseg");
+  bj.meta("shape_legend", "0=chain 1=fleet 2=grid 3=tree");
   bj.meta("sim_seconds", sim_time.sec());
   bj.meta("quick", quick ? 1.0 : 0.0);
-  bj.meta("nodes_per_seg", static_cast<double>(nodes_per_seg));
   bj.meta("reps", static_cast<double>(reps));
   bj.meta("host_cpus", static_cast<double>(hw));
 
-  std::printf("\n  %-5s %-7s %-9s %-10s %-9s %-10s %-8s %s\n", "segs",
-              "nodes", "frames", "seq (s)", "par (s)", "par fps", "speedup",
-              "epochs");
+  std::printf("\n  %-6s %-5s %-8s %-9s %-9s %-8s %-10s %-10s %-7s %s\n",
+              "shape", "segs", "frames", "seq (s)", "par (s)", "speedup",
+              "epochs", "glob.ep", "red.", "handoffs");
   bench::rule();
 
   const auto t0 = std::chrono::steady_clock::now();
-  for (const int segments : seg_counts) {
+  for (const Point& pt : points) {
+    const TopoSpec topo = make_topology(pt.shape, pt.segments, /*seed=*/11);
     // Engine worker threads: RTEC_BENCH_THREADS caps them (CI pins 2);
     // default is one per segment up to the host's cores.
     const unsigned threads =
-        std::min(bench::sweep_threads(), static_cast<unsigned>(segments));
+        std::min(bench::sweep_threads(), static_cast<unsigned>(pt.segments));
     const Run seq = median_of(reps, [&] {
-      return run_chain(segments, nodes_per_seg, /*shards=*/1, /*threads=*/1,
-                       sim_time);
+      return run_city(topo, /*shards=*/1, /*threads=*/1,
+                      LookaheadMode::kPerLink, sim_time);
     });
     const Run par = median_of(reps, [&] {
-      return run_chain(segments, nodes_per_seg, /*shards=*/segments, threads,
-                       sim_time);
+      return run_city(topo, pt.segments, threads, LookaheadMode::kPerLink,
+                      sim_time);
+    });
+    const Run glob = median_of(reps, [&] {
+      return run_city(topo, pt.segments, threads, LookaheadMode::kGlobalMin,
+                      sim_time);
     });
     const double speedup = seq.wall_s / par.wall_s;
-    const double fps_seq = seq.frames / seq.wall_s;
-    const double fps_par = par.frames / par.wall_s;
-    std::printf("  %-5d %-7d %-9.0f %-10.3f %-9.3f %-10.0f %-8.2f %.0f\n",
-                segments, segments * nodes_per_seg, par.frames, seq.wall_s,
-                par.wall_s, fps_par, speedup, par.epochs);
-    bj.row({{"segments", static_cast<double>(segments)},
-            {"nodes_per_seg", static_cast<double>(nodes_per_seg)},
+    const double reduction =
+        glob.epochs > 0 ? 1.0 - par.epochs / glob.epochs : 0.0;
+    std::printf(
+        "  %-6s %-5d %-8.0f %-9.3f %-9.3f %-8.2f %-10.0f %-10.0f %4.0f%%   "
+        "%.0f\n",
+        topo_shape_name(pt.shape), pt.segments, par.frames, seq.wall_s,
+        par.wall_s, speedup, par.epochs, glob.epochs, reduction * 100,
+        par.handoffs);
+    bj.row({{"shape", static_cast<double>(static_cast<int>(pt.shape))},
+            {"segments", static_cast<double>(pt.segments)},
             {"threads", static_cast<double>(threads)},
             {"frames", par.frames},
             {"wall_s_seq", seq.wall_s},
-            {"fps_seq", fps_seq},
             {"wall_s_par", par.wall_s},
-            {"fps_par", fps_par},
+            {"wall_s_global", glob.wall_s},
             {"speedup", speedup},
             {"epochs", par.epochs},
-            {"handoffs", par.handoffs}});
+            {"epochs_global", glob.epochs},
+            {"epoch_reduction", reduction},
+            {"handoffs", par.handoffs},
+            {"shard_runs", par.shard_runs}});
   }
   bench::rule();
   bj.meta("wall_s_total",
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count());
   if (!bj.write()) bench::note("warning: could not write BENCH_multiseg.json");
-  bench::note("sequential and sharded runs execute the identical event");
-  bench::note("sequence (tests/test_multiseg.cpp proves bit-equality); the");
-  bench::note("speedup column is pure engine overhead/parallelism. On a");
-  bench::note("single-core host expect speedup <= 1 (epoch overhead only).");
+  bench::note("all three configurations execute the identical event sequence");
+  bench::note("(tests/test_multiseg.cpp proves bit-equality); epoch_reduction");
+  bench::note("= 1 - epochs/epochs_global is host-independent. On a 1-core");
+  bench::note("host expect speedup <= 1 (epoch + barrier overhead only).");
   return 0;
 }

@@ -392,7 +392,14 @@ LintReport verify_topology(const TopologyInput& input,
     }
   }
 
-  // --- T006: forward latency vs the engine's lookahead -------------------
+  // --- T006: forward latency vs the engine's per-link lookahead ----------
+  // The conservative engine computes each shard's horizon from its
+  // *incoming* links only (per-link lookahead, sim/shard_engine.hpp), so
+  // a sub-floor latency no longer throttles the whole topology — it
+  // serializes epochs between the link's two endpoint segments, and the
+  // warning is scoped accordingly. Zero stays a structural error: the
+  // coordinator's progress argument needs strictly positive lookahead on
+  // every cross-shard channel, whichever horizon policy is active.
   for (const LinkSpec* l : resolved.links) {
     if (l->latency <= Duration::zero())
       add(Rule::kSerialLookahead, Severity::kError,
@@ -403,9 +410,11 @@ LintReport verify_topology(const TopologyInput& input,
     else if (l->latency < options.serial_lookahead_floor)
       add(Rule::kSerialLookahead, Severity::kWarning,
           "forward latency " + ns_text(l->latency.ns()) +
-              " bounds the engine lookahead below " +
-              ns_text(options.serial_lookahead_floor.ns()) +
-              " — parallel epochs degenerate to near-serial execution",
+              " bounds the per-link lookahead between segments " +
+              std::to_string(l->a) + " and " + std::to_string(l->b) +
+              " below " + ns_text(options.serial_lookahead_floor.ns()) +
+              " — their epochs degenerate to near-serial execution (the "
+              "rest of the topology is unaffected under per-link horizons)",
           -1, l->id, -1, l->line);
   }
 

@@ -31,8 +31,10 @@ struct VerifyOptions {
   /// no engineering margin. Errors always fire at > 1.0.
   double warn_utilization = 0.95;
   /// RTEC-T006: a positive forward latency below this floor still executes
-  /// correctly but bounds the conservative engine's lookahead so tightly
-  /// that parallel epochs degenerate to near-serial execution.
+  /// correctly but bounds the engine's *per-link* lookahead between the
+  /// link's endpoint segments so tightly that their epochs degenerate to
+  /// near-serial execution (under per-link horizons the rest of the
+  /// topology keeps its own, larger horizons).
   Duration serial_lookahead_floor = Duration::microseconds(10);
   /// Run lint_calendar over every provided per-segment calendar image and
   /// merge its findings (tagged with the segment id). Off = topology rules

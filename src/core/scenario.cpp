@@ -17,7 +17,7 @@ Calendar::Config with_bus(Calendar::Config cal, BusConfig bus) {
 }  // namespace
 
 Scenario::Scenario(Config cfg) : cfg_{cfg} {
-  assert(cfg.networks >= 1);
+  assert(cfg.networks >= 1 && cfg.networks <= kMaxNetworks);
   const int shard_count = std::clamp(cfg.shards, 1, cfg.networks);
   for (int s = 0; s < shard_count; ++s) {
     sims_.push_back(std::make_unique<Simulator>());
@@ -25,6 +25,7 @@ Scenario::Scenario(Config cfg) : cfg_{cfg} {
   }
   engine_.set_threads(cfg.threads == 0 ? static_cast<unsigned>(shard_count)
                                        : cfg.threads);
+  engine_.set_lookahead_mode(cfg.lookahead);
   for (int i = 0; i < cfg.networks; ++i)
     networks_.push_back(std::make_unique<Network>(
         segment_sim(i), cfg.bus, with_bus(cfg.calendar, cfg.bus)));
@@ -43,8 +44,8 @@ void Scenario::run_until(TimePoint t) {
 
 GatewayLink Scenario::link_gateway(const Node& a, const Node& b,
                                    Duration forward_latency) {
-  const int net_a = network_of_.at(a.id());
-  const int net_b = network_of_.at(b.id());
+  const int net_a = network_of(a);
+  const int net_b = network_of(b);
   assert(net_a != net_b && "a gateway bridges two distinct segments");
   register_gateway(a.id(), net_a);
   register_gateway(b.id(), net_b);
@@ -87,7 +88,8 @@ Expected<void, std::string> Scenario::load_calendar_image(
 
 Node& Scenario::add_node(NodeId id, Node::ClockParams clock_params,
                          int network) {
-  assert(!nodes_.contains(id));
+  assert(network >= 0 && network < cfg_.networks);
+  assert(!nodes_.contains({network, id}) && "node id taken on this segment");
   Network& net = *networks_.at(static_cast<std::size_t>(network));
   Middleware::Config mw_cfg;
   mw_cfg.srt_map = cfg_.srt_map;
@@ -96,21 +98,45 @@ Node& Scenario::add_node(NodeId id, Node::ClockParams clock_params,
                                      &net.calendar, id, clock_params, mw_cfg);
   for (NodeId gw : net.gateways) node->middleware().add_gateway_node(gw);
   Node& ref = *node;
-  nodes_.emplace(id, std::move(node));
-  network_of_.emplace(id, network);
+  nodes_.emplace(std::pair{network, id}, std::move(node));
+  id_networks_[id].push_back(network);
   return ref;
 }
 
-Node& Scenario::node(NodeId id) {
-  const auto it = nodes_.find(id);
+Node& Scenario::node(NodeId id) { return node(id, network_of(id)); }
+
+Node& Scenario::node(NodeId id, int network) {
+  const auto it = nodes_.find({network, id});
   assert(it != nodes_.end());
   return *it->second;
+}
+
+int Scenario::network_of(NodeId id) const {
+  const auto it = id_networks_.find(id);
+  assert(it != id_networks_.end());
+  assert(it->second.size() == 1 &&
+         "node id is reused across segments — address it by (id, network)");
+  return it->second.front();
+}
+
+int Scenario::network_of(const Node& n) const {
+  const auto it = id_networks_.find(n.id());
+  assert(it != id_networks_.end());
+  for (const int net : it->second)
+    if (nodes_.at({net, n.id()}).get() == &n) return net;
+  assert(false && "node does not belong to this scenario");
+  return -1;
 }
 
 Expected<void, AdmissionError> Scenario::enable_clock_sync(NodeId master,
                                                            Duration lst_offset,
                                                            bool rate_correction) {
-  const int network = network_of_.at(master);
+  return enable_clock_sync_on(network_of(master), master, lst_offset,
+                              rate_correction);
+}
+
+Expected<void, AdmissionError> Scenario::enable_clock_sync_on(
+    int network, NodeId master, Duration lst_offset, bool rate_correction) {
   Network& net = *networks_.at(static_cast<std::size_t>(network));
 
   // One slot wide enough for the dlc-0 reference frame plus the dlc-8
@@ -133,10 +159,10 @@ Expected<void, AdmissionError> Scenario::enable_clock_sync(NodeId master,
   sync_cfg.followup_frame_id =
       encode_can_id({kHrtPriority, master, kSyncFollowEtag});
 
-  Node& master_node = node(master);
+  Node& master_node = node(master, network);
   SyncMaster& sm = master_node.make_sync_master(sync_cfg);
-  for (auto& [id, n] : nodes_) {
-    if (id != master && network_of_.at(id) == network)
+  for (auto& [key, n] : nodes_) {
+    if (key.first == network && key.second != master)
       n->make_sync_slave(sync_cfg);
   }
 
@@ -149,9 +175,8 @@ Expected<void, AdmissionError> Scenario::enable_clock_sync(NodeId master,
 void Scenario::register_gateway(NodeId gateway_node, int network) {
   Network& net = *networks_.at(static_cast<std::size_t>(network));
   net.gateways.push_back(gateway_node);
-  for (auto& [id, n] : nodes_) {
-    if (network_of_.at(id) == network)
-      n->middleware().add_gateway_node(gateway_node);
+  for (auto& [key, n] : nodes_) {
+    if (key.first == network) n->middleware().add_gateway_node(gateway_node);
   }
 }
 
@@ -171,11 +196,11 @@ Duration Scenario::clock_precision() const {
 
 Duration Scenario::clock_precision(int network) const {
   Duration worst = Duration::zero();
-  for (auto it_a = nodes_.begin(); it_a != nodes_.end(); ++it_a) {
-    if (network_of_.at(it_a->first) != network) continue;
+  for (auto it_a = nodes_.lower_bound({network, NodeId{0}});
+       it_a != nodes_.end() && it_a->first.first == network; ++it_a) {
     auto it_b = it_a;
-    for (++it_b; it_b != nodes_.end(); ++it_b) {
-      if (network_of_.at(it_b->first) != network) continue;
+    for (++it_b; it_b != nodes_.end() && it_b->first.first == network;
+         ++it_b) {
       const TimePoint a = it_a->second->clock().now();
       const TimePoint b = it_b->second->clock().now();
       const Duration d = a > b ? a - b : b - a;

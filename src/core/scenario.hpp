@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "canbus/bus.hpp"
@@ -32,6 +33,9 @@ struct GatewayLink;
 
 class Scenario {
  public:
+  /// Middleware frames carry the segment in an 8-bit network id.
+  static constexpr int kMaxNetworks = 256;
+
   struct Config {
     BusConfig bus{};
     /// Round length / ΔG_min used for every network's calendar; the
@@ -49,6 +53,10 @@ class Scenario {
     /// Worker threads driving shard epochs; 0 = one per shard. 1 runs the
     /// sharded scenario sequentially (identical results, no concurrency).
     unsigned threads = 0;
+    /// Horizon policy for the conservative engine. kPerLink is the
+    /// default; kGlobalMin reproduces the PR 3 coordinator for paired
+    /// epoch-count benchmarking (traces are identical either way).
+    LookaheadMode lookahead = LookaheadMode::kPerLink;
   };
 
   Scenario() : Scenario(Config{}) {}
@@ -89,13 +97,22 @@ class Scenario {
   Expected<void, std::string> load_calendar_image(const std::string& text,
                                                   int network = 0);
 
-  /// Adds a node to a network segment. Node ids are unique system-wide.
+  /// Adds a node to a network segment. Node ids are unique *per segment*
+  /// (CAN arbitration only sees one segment), so city-scale topologies
+  /// reuse the same small id space on every segment. The id-only lookup
+  /// overloads below remain valid for any id used on a single segment.
   Node& add_node(NodeId id, Node::ClockParams clock_params = {},
                  int network = 0);
+  /// Looks up a node by system-wide-unique id (asserts the id is used on
+  /// exactly one segment — the common single/few-segment case).
   [[nodiscard]] Node& node(NodeId id);
+  /// Looks up a node by its (segment, id) address.
+  [[nodiscard]] Node& node(NodeId id, int network);
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  /// Network segment a node lives on.
-  [[nodiscard]] int network_of(NodeId id) const { return network_of_.at(id); }
+  /// Network segment a node lives on (id-unique overload, asserted).
+  [[nodiscard]] int network_of(NodeId id) const;
+  /// Network segment a node instance lives on.
+  [[nodiscard]] int network_of(const Node& n) const;
 
   /// Reserves a calendar slot for the sync round on `network` (etag
   /// kSyncRefEtag, publisher `master`, sized to carry reference +
@@ -107,6 +124,11 @@ class Scenario {
   Expected<void, AdmissionError> enable_clock_sync(NodeId master,
                                                    Duration lst_offset,
                                                    bool rate_correction = true);
+  /// Same, addressing the master by (segment, id) — required when the
+  /// master's id is reused on other segments (city-scale topologies).
+  Expected<void, AdmissionError> enable_clock_sync_on(
+      int network, NodeId master, Duration lst_offset,
+      bool rate_correction = true);
 
   /// Marks `gateway_node` (already added to `network`) as a forwarding
   /// gateway: frames it sends are treated as remote-origin by every node
@@ -155,8 +177,12 @@ class Scenario {
   ShardEngine engine_;
   std::vector<std::unique_ptr<Network>> networks_;
   BindingRegistry binding_;
-  std::map<NodeId, std::unique_ptr<Node>> nodes_;
-  std::map<NodeId, int> network_of_;
+  /// Nodes keyed by (segment, id): ids are unique per segment only.
+  /// Iteration order (segment-major, id-minor) is what keeps per-segment
+  /// setup deterministic and independent of other segments.
+  std::map<std::pair<int, NodeId>, std::unique_ptr<Node>> nodes_;
+  /// Segments each id appears on — backs the id-unique compat lookups.
+  std::map<NodeId, std::vector<int>> id_networks_;
 };
 
 }  // namespace rtec

@@ -80,7 +80,7 @@ class CallableSlab {
 /// the destructor indirection entirely for trivial captures. The whole
 /// object is exactly one cache line, which is also what bounds the event
 /// kernel's per-slot cold-memory cost.
-class InlineCallable {
+class alignas(64) InlineCallable {
  public:
   /// Inline capture budget. 32 bytes covers the kernel-internal hot-path
   /// lambdas (a few pointers/integers) and a whole `std::function<void()>`
@@ -214,7 +214,10 @@ class InlineCallable {
   };
 };
 
-static_assert(sizeof(InlineCallable) <= 64,
-              "event-slot callable must stay within one cache line");
+/// Exactly one cache line, line-aligned: a slot chunk is a dense array of
+/// these, so under the sharded engine two kernels never share a slot cache
+/// line and a worker's slot writes cannot false-share with another shard's.
+static_assert(sizeof(InlineCallable) == 64 && alignof(InlineCallable) == 64,
+              "event-slot callable must be exactly one aligned cache line");
 
 }  // namespace rtec::detail

@@ -10,8 +10,8 @@
 #include "util/time_types.hpp"
 
 /// \file handoff.hpp
-/// One-directional FIFO handoff channel between two network segments —
-/// the only way simulation state may cross a segment boundary (gateway
+/// One-directional FIFO handoff channels between network segments — the
+/// only way simulation state may cross a segment boundary (gateway
 /// forwarding). Every handoff is stamped with a deterministic release
 /// time, `send time + channel latency`, and a per-channel sequence
 /// number; the destination kernel orders it by (release, channel, seq)
@@ -22,29 +22,90 @@
 ///  * unbuffered — source and destination segments share one kernel; the
 ///    handoff is injected immediately (the release time is in that
 ///    kernel's future by construction since latency >= 0).
-///  * buffered — the segments live on different shards; the handoff is
-///    appended to a buffer owned by the source shard's thread and injected
-///    by the coordinator at the next epoch barrier. The channel latency is
-///    then the lookahead that makes the barrier placement safe: a handoff
-///    sent at t cannot release before t + latency, so it is always
-///    injected before the destination could possibly reach it.
+///  * batched — the segments live on different shards; the handoff is
+///    appended to the *direction batch* shared by every channel flowing
+///    from the source shard into the destination shard, and the whole
+///    batch is drained into the destination kernel in one pass at the
+///    next epoch barrier. The channel latency is then the per-link
+///    lookahead that makes the barrier placement safe: a handoff sent at
+///    t cannot release before t + latency, so it is always injected
+///    before the destination could possibly reach it.
+///
+/// Draining per *direction* instead of per channel means the barrier cost
+/// scales with the number of coupled shard pairs, not with the number of
+/// bridged subjects, and the drain writes each destination kernel's heap
+/// in one contiguous burst. Mixing channels inside one batch cannot
+/// perturb results: the injected lane orders delivered handoffs by their
+/// (channel, seq) identity, never by injection order.
 ///
 /// Threading contract (TSan-verified): post() is called only from the
-/// source shard's execution context; flush() only from the coordinator
-/// between epochs. The epoch barrier orders the two.
+/// source shard's execution context; drain() only from the coordinator
+/// between epochs. The epoch barrier orders the two — a direction batch
+/// is a SPSC ring whose producer/consumer never run concurrently.
 
 namespace rtec {
 
+/// The batched buffer for one cross-shard direction (ordered shard pair).
+/// Owned by the engine; every HandoffChannel for that direction appends
+/// into it. Storage is retained across drains, so steady-state posting
+/// never allocates.
+class HandoffBatch {
+ public:
+  explicit HandoffBatch(Simulator& dest) : dest_{dest} {}
+
+  HandoffBatch(const HandoffBatch&) = delete;
+  HandoffBatch& operator=(const HandoffBatch&) = delete;
+
+  /// Appends one handoff (source shard context only).
+  void push(TimePoint release, std::uint32_t channel, std::uint64_t seq,
+            std::function<void()> cb) {
+    buffer_.push_back(Pending{release, channel, seq, std::move(cb)});
+  }
+
+  /// Injects every buffered handoff into the destination kernel and
+  /// returns how many were delivered (coordinator-only, between epochs).
+  /// The vector's capacity survives the clear — the ring reuses its
+  /// storage on the next epoch.
+  std::size_t drain() {
+    const std::size_t n = buffer_.size();
+    for (Pending& p : buffer_)
+      dest_.schedule_injected(p.release, p.channel, p.seq, std::move(p.cb));
+    buffer_.clear();
+    return n;
+  }
+
+  /// Handoffs awaiting injection at the next barrier.
+  [[nodiscard]] std::size_t pending() const { return buffer_.size(); }
+  [[nodiscard]] Simulator& dest() const { return dest_; }
+
+ private:
+  struct Pending {
+    TimePoint release;
+    std::uint32_t channel;
+    std::uint64_t seq;
+    std::function<void()> cb;
+  };
+
+  Simulator& dest_;
+  std::vector<Pending> buffer_;
+};
+
 class HandoffChannel {
  public:
+  /// `batch == nullptr` means source and destination share a kernel
+  /// (unbuffered immediate injection); otherwise every post lands in the
+  /// direction batch and is drained at the next epoch barrier.
   HandoffChannel(Simulator& dest, std::uint32_t id, Duration latency,
-                 bool buffered)
-      : dest_{dest}, id_{id}, latency_{latency}, buffered_{buffered} {
+                 HandoffBatch* batch)
+      : dest_{dest}, batch_{batch}, id_{id}, latency_{latency} {
     assert(latency >= Duration::zero());
-    // A buffered (cross-shard) channel's latency is the engine lookahead;
-    // zero lookahead would stall the conservative coordinator.
-    assert((!buffered || latency > Duration::zero()) &&
+    // A cross-shard channel's latency is the per-link lookahead between
+    // its endpoint shards; zero lookahead would stall the conservative
+    // coordinator.
+    assert((batch == nullptr || latency > Duration::zero()) &&
            "cross-shard handoff channels need a positive latency");
+    assert((batch == nullptr || &batch->dest() == &dest) &&
+           "direction batch must target the channel's destination kernel");
   }
 
   HandoffChannel(const HandoffChannel&) = delete;
@@ -53,46 +114,30 @@ class HandoffChannel {
   /// Commits one handoff sent at `send_time` (the source segment's current
   /// simulation time). `cb` runs in the destination segment's context at
   /// `send_time + latency()`.
-  void post(TimePoint send_time, std::function<void()> cb) {
-    assert(cb);
+  template <typename F>
+  void post(TimePoint send_time, F&& cb) {
     const TimePoint release = send_time + latency_;
     const std::uint64_t seq = next_seq_++;
-    if (buffered_) {
-      buffer_.push_back(Pending{release, seq, std::move(cb)});
+    if (batch_ != nullptr) {
+      batch_->push(release, id_, seq,
+                   std::function<void()>{std::forward<F>(cb)});
     } else {
-      dest_.schedule_injected(release, id_, seq, std::move(cb));
+      dest_.schedule_injected(release, id_, seq, std::forward<F>(cb));
     }
   }
 
-  /// Injects every buffered handoff into the destination kernel
-  /// (coordinator-only, between epochs).
-  void flush() {
-    for (Pending& p : buffer_)
-      dest_.schedule_injected(p.release, id_, p.seq, std::move(p.cb));
-    buffer_.clear();
-  }
-
   [[nodiscard]] Duration latency() const { return latency_; }
-  [[nodiscard]] bool buffered() const { return buffered_; }
+  [[nodiscard]] bool buffered() const { return batch_ != nullptr; }
   [[nodiscard]] std::uint32_t id() const { return id_; }
   /// Handoffs committed over the channel's lifetime.
   [[nodiscard]] std::uint64_t posted() const { return next_seq_; }
-  /// Handoffs awaiting injection at the next barrier.
-  [[nodiscard]] std::size_t pending() const { return buffer_.size(); }
 
  private:
-  struct Pending {
-    TimePoint release;
-    std::uint64_t seq;
-    std::function<void()> cb;
-  };
-
   Simulator& dest_;
+  HandoffBatch* batch_;
   std::uint32_t id_;
   Duration latency_;
-  bool buffered_;
   std::uint64_t next_seq_ = 0;
-  std::vector<Pending> buffer_;
 };
 
 }  // namespace rtec

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/handoff.hpp"
@@ -14,32 +16,68 @@
 /// A multi-segment scenario partitions its CAN segments into shards, one
 /// `Simulator` per shard, coupled only through `HandoffChannel`s (gateway
 /// forwarding). The engine advances all shards in lockstep epochs using
-/// classic null-message/YAWNS-style lookahead synchronization:
+/// null-message/YAWNS-style lookahead synchronization with **per-link
+/// lookahead**: each shard's safe horizon is computed from only the links
+/// that can actually feed it, so weakly-coupled shards advance far past
+/// the global minimum and epoch counts collapse on heterogeneous
+/// topologies.
 ///
-///   1. barrier: inject every buffered handoff into its destination kernel
-///   2. N  = min over shards of the next pending event time
-///   3. H  = N + L, where L = min latency over all cross-shard channels
-///      (no cross-shard channels: H = run horizon — segments are
-///      independent and each shard runs the whole window in one epoch)
-///   4. every shard executes its events with timestamp < H, in parallel
+///   1. barrier: drain every direction batch into its destination kernel;
+///      record N_j = each shard j's next pending event time
+///   2. compute every shard's *earliest output time* — the lower bound on
+///      when it could execute anything from now on, including events it
+///      has not received yet — as the least fixpoint of
+///        ET_j = min(N_j, min over incoming links (k -> j) of ET_k + L_kj)
+///      (a single-source-free Dijkstra pass over the positive-latency
+///      link graph, seeded with the N_j), then
+///        H_i = min over incoming links (j -> i) of  ET_j + L_ji
+///      where L_ji is the minimum latency over that direction's channels
+///      (no incoming links, or every feeder drained: H_i = run bound)
+///   3. every shard with N_i < H_i executes its events with timestamp
+///      < H_i, in parallel; the rest idle this epoch
 ///
-/// Safety: an event executed in this epoch has timestamp t >= N, so any
-/// handoff it commits releases at t + latency >= N + L = H — beyond what
-/// any shard executes before the next barrier, where it is injected.
-/// Progress: L > 0 (asserted per channel), so the shard holding the global
-/// minimum always executes at least one event per epoch.
+/// Safety: any event shard j ever executes from this barrier on — its own
+/// pending events (t >= N_j) or relays of handoffs it has yet to receive
+/// (which arrive no earlier than ET_k + L_kj from some feeder k) — has
+/// timestamp >= ET_j by induction over relay chains, so any handoff it
+/// commits toward shard i releases at >= ET_j + L_ji >= H_i: beyond what
+/// shard i executes before the next barrier, where it is injected. The
+/// transitive closure matters — bounding H_i by the feeders' *pending*
+/// events alone (N_j + L_ji) is unsound, because a feeder can receive and
+/// relay an event below its own N_j. Handoffs are the only cross-shard
+/// influence, hence no shard can ever receive an event in its executed
+/// past (asserted by the kernel's injected lane). Progress: every
+/// cross-shard latency is > 0 (asserted), so the shard holding the global
+/// minimum N has ET = N and every bound on it exceeds N — it always
+/// executes at least one event per epoch.
 ///
-/// Determinism: results are bit-identical for every shard/thread count.
-/// Within an epoch shards share no mutable state (channel buffers are
-/// written only by their source shard and drained only at barriers), and
-/// the injected lane orders handoffs by their (channel, seq) identity
-/// rather than by injection time, so barrier placement cannot perturb
-/// delivery order — see simulator.hpp and docs/performance.md §5.
+/// The legacy PR 3 engine (one global horizon, N + min latency over *all*
+/// links) is retained as `LookaheadMode::kGlobalMin` for paired
+/// benchmarking and regression tests; per-link is the default and is
+/// never slower in epochs (each H_i is >= the global horizon).
+///
+/// Determinism: results are bit-identical for every shard/thread count
+/// and either lookahead mode. Within an epoch shards share no mutable
+/// state (direction batches are written only by their source shard and
+/// drained only at barriers), and the injected lane orders handoffs by
+/// their (channel, seq) identity rather than by injection time, so
+/// neither barrier placement nor batch drain order can perturb delivery
+/// order — see simulator.hpp and docs/performance.md §4.
 /// tests/test_multiseg.cpp verifies bit-identity across shard counts
-/// {1, 2, N} × worker counts, seeds and topologies; the epoch barriers are
-/// the only cross-thread synchronization, verified under TSan.
+/// {1, 2, N} × worker counts, seeds and topology shapes; the epoch
+/// barriers are the only cross-thread synchronization, verified under
+/// TSan.
 
 namespace rtec {
+
+/// Horizon policy for the conservative coordinator.
+enum class LookaheadMode {
+  /// Per-shard horizons from incoming links only (default).
+  kPerLink,
+  /// PR 3 behaviour: one global horizon N + min latency over all links.
+  /// Kept for paired epoch-count benchmarking; produces identical traces.
+  kGlobalMin,
+};
 
 class ShardEngine {
  public:
@@ -54,7 +92,9 @@ class ShardEngine {
   /// Creates the handoff channel for segment traffic flowing from shard
   /// `from` into shard `to` (same shard allowed: the channel is then
   /// unbuffered and bypasses the barrier machinery). Cross-shard channels
-  /// require `latency > 0`; the engine lookahead is their minimum.
+  /// require `latency > 0` and share one direction batch per ordered
+  /// (from, to) pair; the direction's lookahead is the minimum latency of
+  /// its channels.
   HandoffChannel& link(std::size_t from, std::size_t to, Duration latency);
 
   /// Worker threads used for parallel epochs (clamped to the shard count;
@@ -63,32 +103,71 @@ class ShardEngine {
   void set_threads(unsigned n) { threads_ = n == 0 ? 1 : n; }
   [[nodiscard]] unsigned threads() const { return threads_; }
 
+  void set_lookahead_mode(LookaheadMode m) { mode_ = m; }
+  [[nodiscard]] LookaheadMode lookahead_mode() const { return mode_; }
+
   /// Runs every shard up to and including `t` and leaves all kernels with
   /// now() == t. Callable repeatedly; handoffs committed at exactly `t`
   /// stay buffered and are injected by the next call.
   void run_until(TimePoint t);
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
-  /// Minimum cross-shard channel latency (the conservative lookahead);
-  /// Duration::max() when every channel is intra-shard.
+  /// Minimum cross-shard channel latency (the kGlobalMin lookahead and a
+  /// whole-topology diagnostic); Duration::max() when every channel is
+  /// intra-shard.
   [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  /// Minimum latency over the links *into* `shard` — the per-link bound
+  /// on how far it may trail its slowest feeder; Duration::max() when
+  /// nothing feeds it.
+  [[nodiscard]] Duration incoming_lookahead(std::size_t shard) const;
 
   struct Stats {
-    std::uint64_t epochs = 0;         ///< lockstep windows executed
-    std::uint64_t handoffs = 0;       ///< cross-shard handoffs injected
+    std::uint64_t epochs = 0;      ///< lockstep windows executed
+    std::uint64_t handoffs = 0;    ///< cross-shard handoffs injected
+    std::uint64_t shard_runs = 0;  ///< shard executions summed over epochs
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  /// Barrier work: flushes channel buffers and returns the global minimum
-  /// next-event time (TimePoint::max() when all kernels drained).
-  TimePoint inject_and_peek();
+  /// One ordered cross-shard pair with at least one channel. The batch
+  /// address is stable (channels keep pointers into it).
+  struct Direction {
+    std::size_t from;
+    std::size_t to;
+    Duration min_latency;
+    std::unique_ptr<HandoffBatch> batch;
+  };
+  /// One adjacency edge (used in both directions: the peer is the source
+  /// in `incoming_` and the destination in `outgoing_`).
+  struct Edge {
+    std::size_t peer;
+    Duration latency;
+  };
+
+  /// Barrier work: drains every direction batch and refreshes `next_`;
+  /// returns the global minimum next-event time (TimePoint::max() when
+  /// all kernels drained).
+  TimePoint drain_and_peek();
+  /// Fills `horizon_` and `active_` for one epoch given the global
+  /// minimum `next_min` and the exclusive run bound.
+  void compute_horizons(TimePoint end_excl, TimePoint next_min);
+  void rebuild_incoming();
 
   std::vector<Simulator*> shards_;
   std::vector<std::unique_ptr<HandoffChannel>> channels_;
+  std::vector<Direction> directions_;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> direction_index_;
+  std::vector<std::vector<Edge>> incoming_;  ///< per destination shard
+  std::vector<std::vector<Edge>> outgoing_;  ///< per source shard
+  bool incoming_dirty_ = false;
+  std::vector<TimePoint> next_;     ///< per-shard next event after barrier
+  std::vector<TimePoint> et_;       ///< per-shard earliest output time
+  std::vector<TimePoint> horizon_;  ///< per-shard epoch horizon (exclusive)
+  std::vector<std::uint32_t> active_;  ///< shards with work this epoch
   Duration lookahead_ = Duration::max();
   bool has_cross_shard_ = false;
   unsigned threads_ = 1;
+  LookaheadMode mode_ = LookaheadMode::kPerLink;
   Stats stats_;
 };
 

@@ -41,7 +41,11 @@
 
 namespace rtec {
 
-class Simulator {
+/// Cache-line aligned: under the sharded engine (sim/shard_engine.hpp)
+/// each worker thread hammers its shard's kernel header (now_, heap_,
+/// free-list heads) every event, so adjacent kernels must not share a
+/// line.
+class alignas(64) Simulator {
  public:
   /// Legacy alias; `schedule_*` accept any `void()` callable directly and
   /// store small ones without allocation.

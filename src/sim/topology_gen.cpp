@@ -1,0 +1,124 @@
+#include "sim/topology_gen.hpp"
+
+#include <cassert>
+
+#include "util/random.hpp"
+
+namespace rtec {
+
+namespace {
+
+/// One latency draw per link, in creation order — the link list itself is
+/// a pure function of (shape, segments), so the whole spec depends only
+/// on the constructor arguments.
+Duration draw_latency(Rng& rng, const TopoGenOptions& opt) {
+  assert(opt.min_latency > Duration::zero() &&
+         opt.min_latency <= opt.max_latency);
+  const std::int64_t us = rng.uniform_int(opt.min_latency.ns() / 1000,
+                                          opt.max_latency.ns() / 1000);
+  return Duration::microseconds(us);
+}
+
+void add_link(TopoSpec& spec, Rng& rng, const TopoGenOptions& opt, int a,
+              int b, int latency_scale = 1) {
+  assert(a != b && a >= 0 && b >= 0 && a < spec.segments &&
+         b < spec.segments);
+  if (a > b) {
+    const int t = a;
+    a = b;
+    b = t;
+  }
+  spec.links.push_back(TopoLink{a, b, draw_latency(rng, opt) * latency_scale});
+}
+
+}  // namespace
+
+TopoSpec make_topology(TopoShape shape, int segments, std::uint64_t seed,
+                       const TopoGenOptions& opt) {
+  assert(segments >= 1);
+  TopoSpec spec;
+  spec.shape = shape;
+  spec.segments = segments;
+  spec.seed = seed;
+  // Mix the shape and size into the stream so different specs with the
+  // same seed do not share latency sequences.
+  Rng rng{seed ^ (static_cast<std::uint64_t>(segments) << 32) ^
+          (static_cast<std::uint64_t>(shape) << 16)};
+
+  switch (shape) {
+    case TopoShape::kChain:
+      for (int i = 1; i < segments; ++i) add_link(spec, rng, opt, i - 1, i);
+      break;
+
+    case TopoShape::kFleetStar: {
+      // Segment i is a hub when i % cluster == 0, else a leaf of the hub
+      // at the start of its block. Hubs form a backbone chain, so the
+      // shape stays connected at any size; a hub carries at most
+      // cluster-1 leaf gateways plus two backbone gateways.
+      const int cluster = opt.fleet_cluster < 2 ? 2 : opt.fleet_cluster;
+      for (int i = 1; i < segments; ++i) {
+        const int hub = i - i % cluster;
+        if (i == hub) {
+          // Backbone hops span the city, leaf links are local: 3x the
+          // store-and-forward latency of a leaf gateway.
+          add_link(spec, rng, opt, hub - cluster, hub, /*latency_scale=*/3);
+        } else {
+          add_link(spec, rng, opt, hub, i);  // leaf
+        }
+      }
+      break;
+    }
+
+    case TopoShape::kCampusGrid: {
+      // Near-square layout: cols = ceil(sqrt(segments)) without floating
+      // point, row-major segment numbering, links right and down.
+      int cols = 1;
+      while (cols * cols < segments) ++cols;
+      spec.grid_cols = cols;
+      for (int i = 0; i < segments; ++i) {
+        const bool row_end = (i + 1) % cols == 0;
+        if (!row_end && i + 1 < segments) add_link(spec, rng, opt, i, i + 1);
+        if (i + cols < segments) add_link(spec, rng, opt, i, i + cols);
+      }
+      break;
+    }
+
+    case TopoShape::kBackboneTree:
+      // Complete binary tree rooted at 0: parent(i) = (i - 1) / 2.
+      for (int i = 1; i < segments; ++i)
+        add_link(spec, rng, opt, (i - 1) / 2, i);
+      break;
+  }
+  return spec;
+}
+
+const char* topo_shape_name(TopoShape s) {
+  switch (s) {
+    case TopoShape::kChain:
+      return "chain";
+    case TopoShape::kFleetStar:
+      return "fleet";
+    case TopoShape::kCampusGrid:
+      return "grid";
+    case TopoShape::kBackboneTree:
+      return "tree";
+  }
+  return "?";
+}
+
+bool topo_shape_from_name(std::string_view name, TopoShape& out) {
+  if (name == "chain") {
+    out = TopoShape::kChain;
+  } else if (name == "fleet") {
+    out = TopoShape::kFleetStar;
+  } else if (name == "grid") {
+    out = TopoShape::kCampusGrid;
+  } else if (name == "tree") {
+    out = TopoShape::kBackboneTree;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rtec

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+/// \file topology_gen.hpp
+/// Deterministic generator for city-scale multi-segment topology shapes.
+///
+/// A generated topology is a set of CAN segments (numbered 0..segments-1)
+/// plus undirected gateway adjacencies with per-link forward latencies.
+/// The same (shape, segments, seed) always yields the same spec — the
+/// generator draws only from util/random.hpp's seeded Rng — so benches,
+/// tests and the rtec_topogen CLI can all reconstruct identical worlds.
+///
+/// Shapes model the federated deployments the event-channel papers
+/// target:
+///  * kChain        — a backbone line of segments (PR 3's bench shape).
+///  * kFleetStar    — vehicle fleet: hub segments in a backbone chain,
+///                    each with a cluster of leaf segments (star per hub).
+///  * kCampusGrid   — factory campus: segments on a near-square 2-D grid,
+///                    gateways to the right and down neighbours (cyclic).
+///  * kBackboneTree — building backbone: complete binary tree.
+///
+/// Latencies are drawn uniformly per link from [min_latency, max_latency]
+/// at microsecond granularity. Heterogeneous latencies are the point:
+/// per-link lookahead (sim/shard_engine.hpp) exploits exactly the links
+/// whose latency or traffic differs from the global minimum.
+
+namespace rtec {
+
+enum class TopoShape { kChain, kFleetStar, kCampusGrid, kBackboneTree };
+
+/// Undirected gateway adjacency between segments `a` and `b` (a < b);
+/// builders create one store-and-forward gateway (two directed handoff
+/// channels) per link.
+struct TopoLink {
+  int a = 0;
+  int b = 0;
+  Duration latency = Duration::zero();
+};
+
+struct TopoSpec {
+  TopoShape shape = TopoShape::kChain;
+  int segments = 0;
+  std::uint64_t seed = 0;
+  int grid_cols = 0;  ///< kCampusGrid only: row width of the layout
+  std::vector<TopoLink> links;
+};
+
+struct TopoGenOptions {
+  Duration min_latency = Duration::microseconds(200);
+  Duration max_latency = Duration::microseconds(400);
+  /// kFleetStar: segments per hub block (1 hub + cluster-1 leaves).
+  int fleet_cluster = 16;
+};
+
+/// Builds the deterministic spec. `segments >= 1`; latencies and layout
+/// depend only on (shape, segments, seed, options).
+[[nodiscard]] TopoSpec make_topology(TopoShape shape, int segments,
+                                     std::uint64_t seed,
+                                     const TopoGenOptions& opt = {});
+
+/// Stable lower-case shape names ("chain", "fleet", "grid", "tree") for
+/// CLIs, bench metadata and test output.
+[[nodiscard]] const char* topo_shape_name(TopoShape s);
+/// Parses a shape name; returns false (out untouched) on unknown names.
+[[nodiscard]] bool topo_shape_from_name(std::string_view name,
+                                        TopoShape& out);
+
+}  // namespace rtec

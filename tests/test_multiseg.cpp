@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "core/gateway.hpp"
 #include "core/scenario.hpp"
 #include "core/srtec.hpp"
+#include "sim/topology_gen.hpp"
 #include "time/periodic.hpp"
 #include "util/random.hpp"
 #include "util/task_pool.hpp"
@@ -228,6 +230,177 @@ TEST(MultisegDifferential, ChainOfFourSegments) {
 
 TEST(MultisegDifferential, StarOfThreeSegments) {
   differential(Topology::kStar, 3, "star3");
+}
+
+// --- City-scale generated topologies -----------------------------------
+// The same differential contract at 64 segments on every generated shape
+// (sim/topology_gen.hpp): fleet-of-stars, campus grid, backbone tree.
+// Node ids are reused across segments here — the (network, id) keying in
+// Scenario is what makes city scale possible at all (NodeId is 7-bit).
+
+/// Builds the standard city workload over a generated topology: two
+/// regular nodes per segment with drifting clocks and per-segment sync,
+/// one bridged SRT subject per gateway link, and Poisson chatter on every
+/// fourth segment (busy/light mix — the weak coupling per-link lookahead
+/// exploits).
+RunResult run_city(const TopoSpec& topo, int shards, unsigned threads,
+                   Duration sim_time) {
+  Scenario::Config cfg;
+  cfg.networks = topo.segments;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.calendar.round_length = 10_ms;
+  Scenario scn{cfg};
+  TaskPool pool;
+  Rng setup_rng{topo.seed + 0xC17Bu};
+
+  RunResult out;
+  out.traces.resize(static_cast<std::size_t>(topo.segments));
+  for (int net = 0; net < topo.segments; ++net) {
+    auto* trace = &out.traces[static_cast<std::size_t>(net)];
+    scn.bus(net).add_observer([trace](const CanBus::FrameEvent& ev) {
+      trace->push_back(format_frame(ev));
+    });
+  }
+
+  for (int net = 0; net < topo.segments; ++net) {
+    for (NodeId k : {NodeId{1}, NodeId{2}}) {
+      Node::ClockParams p;
+      p.initial_offset = Duration::microseconds(setup_rng.uniform_int(-20, 20));
+      p.drift_ppb = setup_rng.uniform_int(-80'000, 80'000);
+      p.granularity = 1_us;
+      scn.add_node(k, p, net);
+    }
+  }
+
+  // One gateway per generated link; endpoint node ids count up from 100
+  // independently on each segment (a fleet hub carries up to 16 of them).
+  std::vector<int> next_gw_id(static_cast<std::size_t>(topo.segments), 100);
+  std::vector<std::unique_ptr<Gateway>> gateways;
+  for (const TopoLink& link : topo.links) {
+    Node& ga = scn.add_node(
+        static_cast<NodeId>(next_gw_id[static_cast<std::size_t>(link.a)]++),
+        {}, link.a);
+    Node& gb = scn.add_node(
+        static_cast<NodeId>(next_gw_id[static_cast<std::size_t>(link.b)]++),
+        {}, link.b);
+    gateways.push_back(std::make_unique<Gateway>(
+        ga, gb, scn.link_gateway(ga, gb, link.latency)));
+  }
+
+  for (int net = 0; net < topo.segments; ++net) {
+    const auto ok = scn.enable_clock_sync_on(net, NodeId{2}, 500_us);
+    EXPECT_TRUE(ok.has_value()) << "sync setup failed on segment " << net;
+  }
+
+  std::vector<std::unique_ptr<Srtec>> stacks;
+  const auto make_stack = [&](NodeId id, int net) {
+    stacks.push_back(std::make_unique<Srtec>(scn.node(id, net).middleware()));
+    return stacks.back().get();
+  };
+
+  // One bridged subject per link, published from the a side and drained on
+  // the b side; staggered periods so link traffic is heterogeneous.
+  std::vector<std::unique_ptr<PeriodicLocalTask>> tasks;
+  for (std::size_t l = 0; l < topo.links.size(); ++l) {
+    const TopoLink& link = topo.links[l];
+    const Subject subj = subject_of("city/x" + std::to_string(l));
+    EXPECT_TRUE(gateways[l]->bridge_srt(subj, 10_ms, 30_ms).has_value());
+    Srtec* pub = make_stack(NodeId{1}, link.a);
+    EXPECT_TRUE(
+        pub->announce(subj, AttributeList{attr::Deadline{10_ms}}, nullptr)
+            .has_value());
+    Srtec* sub = make_stack(NodeId{2}, link.b);
+    EXPECT_TRUE(sub->subscribe(subj, {}, [sub] { (void)sub->getEvent(); },
+                               nullptr)
+                    .has_value());
+    std::uint8_t payload = static_cast<std::uint8_t>(l);
+    tasks.push_back(std::make_unique<PeriodicLocalTask>(
+        scn.node(NodeId{1}, link.a).clock(),
+        5_ms + Duration::milliseconds(static_cast<std::int64_t>(l % 5)),
+        [pub, payload]() mutable {
+          Event e;
+          e.content = {payload++, 0x42};
+          (void)pub->publish(std::move(e));
+        }));
+    tasks.back()->start();
+  }
+
+  // Poisson chatter on every fourth segment only: the busy/light mix.
+  std::vector<std::unique_ptr<Rng>> seg_rngs;
+  for (int net = 0; net < topo.segments; net += 4) {
+    seg_rngs.push_back(std::make_unique<Rng>(
+        topo.seed * 1000 + static_cast<std::uint64_t>(net) + 1));
+    const Subject subj = subject_of("city/c" + std::to_string(net));
+    Srtec* pub = make_stack(NodeId{1}, net);
+    EXPECT_TRUE(
+        pub->announce(subj, AttributeList{attr::Deadline{20_ms}}, nullptr)
+            .has_value());
+    Srtec* sub = make_stack(NodeId{2}, net);
+    EXPECT_TRUE(sub->subscribe(subj, {}, [sub] { (void)sub->getEvent(); },
+                               nullptr)
+                    .has_value());
+    Simulator* sim = &scn.segment_sim(net);
+    Rng* rng = seg_rngs.back().get();
+    auto* loop = pool.make();
+    *loop = [pub, sim, rng, loop] {
+      Event e;
+      e.content = {0x5A};
+      (void)pub->publish(std::move(e));
+      sim->schedule_after(Duration::nanoseconds(static_cast<std::int64_t>(
+                              rng->exponential(0.7e6))),
+                          [loop] { (*loop)(); });
+    };
+    sim->schedule_after(
+        Duration::microseconds(setup_rng.uniform_int(100, 3000)),
+        [loop] { (*loop)(); });
+  }
+
+  scn.run_for(sim_time);
+
+  for (int net = 0; net < topo.segments; ++net)
+    out.precision_ns.push_back(scn.clock_precision(net).ns());
+  out.handoffs = scn.shard_engine().stats().handoffs;
+  return out;
+}
+
+void city_differential(TopoShape shape, int segments,
+                       std::initializer_list<unsigned> thread_counts,
+                       Duration sim_time) {
+  const TopoSpec topo = make_topology(shape, segments, /*seed=*/11);
+  const RunResult ref = run_city(topo, /*shards=*/1, /*threads=*/1, sim_time);
+  std::size_t total = 0;
+  for (const auto& t : ref.traces) total += t.size();
+  ASSERT_GT(total, static_cast<std::size_t>(segments))
+      << "workload too idle to be a meaningful diff";
+
+  for (const unsigned threads : thread_counts) {
+    const RunResult got = run_city(topo, segments, threads, sim_time);
+    expect_identical(ref, got,
+                     std::string{topo_shape_name(shape)} +
+                         std::to_string(segments) +
+                         " threads=" + std::to_string(threads));
+    EXPECT_GT(got.handoffs, 0u);
+  }
+}
+
+TEST(MultisegCity, FleetStar64ByteIdenticalAcrossThreads) {
+  city_differential(TopoShape::kFleetStar, 64, {1u, 2u, 4u}, 60_ms);
+}
+
+TEST(MultisegCity, CampusGrid64ByteIdenticalAcrossThreads) {
+  city_differential(TopoShape::kCampusGrid, 64, {1u, 2u, 4u}, 60_ms);
+}
+
+TEST(MultisegCity, BackboneTree64ByteIdenticalAcrossThreads) {
+  city_differential(TopoShape::kBackboneTree, 64, {1u, 2u, 4u}, 60_ms);
+}
+
+TEST(MultisegCity, GridSixteenTwoThreadsQuick) {
+  // The quick configuration CI runs under ThreadSanitizer: small enough
+  // to stay fast at TSan overheads, still a real 2-D grid with batched
+  // handoffs, per-link horizons and the spin-then-park barrier engaged.
+  city_differential(TopoShape::kCampusGrid, 16, {2u}, 40_ms);
 }
 
 TEST(MultisegGateway, BurstCrossesInFifoOrderWithDeterministicStamps) {

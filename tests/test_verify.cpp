@@ -375,8 +375,16 @@ TEST(VerifyTopology, T006FlagsZeroAndTinyForwardLatency) {
   tiny.replace(tiny.find(from), from.size(), "latency_us=5");
   bool warned = false;
   for (const Finding& g : verify_text(tiny).findings)
-    if (g.rule == Rule::kSerialLookahead && g.severity == Severity::kWarning)
+    if (g.rule == Rule::kSerialLookahead && g.severity == Severity::kWarning) {
       warned = true;
+      // The warning is scoped to the link's endpoints, not the whole
+      // engine: under per-link horizons only the two adjacent segments
+      // degenerate to near-serial epochs.
+      EXPECT_NE(g.message.find("per-link lookahead"), std::string::npos)
+          << g.message;
+      EXPECT_NE(g.message.find("segments 0 and 1"), std::string::npos)
+          << g.message;
+    }
   EXPECT_TRUE(warned);
 
   EXPECT_FALSE(has_rule(verify_text(kCleanPair), Rule::kSerialLookahead));

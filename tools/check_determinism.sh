@@ -18,11 +18,12 @@ set -u
 root="${1:-.}"
 cd "$root" || exit 2
 
-# Order-critical trees: the event kernel and shard engine (src/sim), the
-# bus arbitration model (src/canbus), the protocol engines (src/core) and
-# the offline schedulers (src/sched). Analysis/tools/tests may use host
+# Order-critical trees: the event kernel, shard engine and topology
+# generator (src/sim), the bus arbitration model (src/canbus), the
+# protocol engines (src/core), the offline schedulers (src/sched) and the
+# periodic-task clocks (src/time). Analysis/tools/tests may use host
 # facilities freely; they never run inside a simulation.
-dirs="src/sim src/canbus src/core src/sched"
+dirs="src/sim src/canbus src/core src/sched src/time"
 for d in $dirs; do
   if [ ! -d "$d" ]; then
     echo "check_determinism: missing directory $d (run from the repo root)" >&2
