@@ -39,6 +39,7 @@
 #include "sim/topology_gen.hpp"
 #include "time/periodic.hpp"
 #include "util/random.hpp"
+#include "util/stats.hpp"
 #include "util/task_pool.hpp"
 
 using namespace rtec;
@@ -168,7 +169,7 @@ Run median_of(int reps, const std::function<Run()>& fn) {
   for (int i = 0; i < reps; ++i) runs.push_back(fn());
   std::sort(runs.begin(), runs.end(),
             [](const Run& a, const Run& b) { return a.wall_s < b.wall_s; });
-  return runs[runs.size() / 2];
+  return runs[quantile_rank(runs.size(), 0.5)];
 }
 
 struct Point {

@@ -36,6 +36,7 @@ std::string_view rule_code(Rule r) {
     case Rule::kE2eDeadline: return "RTEC-T009";
     case Rule::kHopInfeasible: return "RTEC-T010";
     case Rule::kOracleDisagreement: return "RTEC-T011";
+    case Rule::kProbE2eMiss: return "RTEC-T012";
   }
   return "RTEC-????";
 }
@@ -70,6 +71,7 @@ std::string_view rule_name(Rule r) {
     case Rule::kE2eDeadline: return "e2e-deadline";
     case Rule::kHopInfeasible: return "hop-infeasible";
     case Rule::kOracleDisagreement: return "oracle-disagreement";
+    case Rule::kProbE2eMiss: return "prob-e2e-miss";
   }
   return "unknown";
 }

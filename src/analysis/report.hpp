@@ -44,6 +44,7 @@ enum class Rule {
   kE2eDeadline,          ///< RTEC-T009 composed worst-case bound > deadline
   kHopInfeasible,        ///< RTEC-T010 per-segment EDF test fails composed set
   kOracleDisagreement,   ///< RTEC-T011 simulated run contradicts the verifier
+  kProbE2eMiss,          ///< RTEC-T012 composed miss probability > target
 };
 
 /// "RTEC-C001"-style stable code.

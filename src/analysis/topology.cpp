@@ -48,15 +48,15 @@ Expected<TopologySpec, CalendarIoError> parse_topology_spec(
     return Unexpected{CalendarIoError{line_no, std::move(msg)}};
   };
 
-  static constexpr std::array<std::string_view, 3> kSegmentKeys = {
-      "id", "calendar", "precision_ns"};
+  static constexpr std::array<std::string_view, 4> kSegmentKeys = {
+      "id", "calendar", "precision_ns", "fault_rate"};
   static constexpr std::array<std::string_view, 4> kLinkKeys = {
       "id", "a", "b", "latency_us"};
   static constexpr std::array<std::string_view, 2> kBridgeKeys = {"link",
                                                                   "etag"};
-  static constexpr std::array<std::string_view, 7> kRouteKeys = {
+  static constexpr std::array<std::string_view, 8> kRouteKeys = {
       "etag", "from", "to", "period_us", "hop_deadline_us",
-      "e2e_deadline_us", "dlc"};
+      "e2e_deadline_us", "dlc", "miss_target"};
   static constexpr std::array<std::string_view, 8> kStreamKeys = {
       "segment", "class", "node", "etag", "dlc", "period_us", "deadline_us",
       "priority"};
@@ -106,6 +106,13 @@ Expected<TopologySpec, CalendarIoError> parse_topology_spec(
             "precision_ns", 0, std::numeric_limits<std::int64_t>::max());
         if (!p) return fail("bad segment: " + p.error());
         s.precision = Duration::nanoseconds(*p);
+      }
+      if (kv->contains("fault_rate")) {
+        // A certain fault (rate 1) leaves no schedulable channel; keep it
+        // describable up to but excluding 1 so RTEC-T012 stays meaningful.
+        const auto rate = kv->get_double_in("fault_rate", 0.0, 0.999999);
+        if (!rate) return fail("bad segment: " + rate.error());
+        s.fault_rate = *rate;
       }
       spec.segments.push_back(std::move(s));
       continue;
@@ -177,6 +184,11 @@ Expected<TopologySpec, CalendarIoError> parse_topology_spec(
         const auto dlc = kv->get_int_in("dlc", 0, 8);
         if (!dlc) return fail("bad route: " + dlc.error());
         r.dlc = static_cast<int>(*dlc);
+      }
+      if (kv->contains("miss_target")) {
+        const auto target = kv->get_double_in("miss_target", 0.0, 1.0);
+        if (!target) return fail("bad route: " + target.error());
+        r.miss_target = *target;
       }
       spec.routes.push_back(r);
       continue;

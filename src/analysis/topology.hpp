@@ -22,12 +22,13 @@
 /// Text format (one directive per line, `#` starts a comment):
 ///
 ///   topology v1
-///   segment id=0 calendar=seg0.cal precision_ns=33000
+///   segment id=0 calendar=seg0.cal precision_ns=33000 fault_rate=0.01
 ///   segment id=1 precision_ns=33000
 ///   link id=0 a=0 b=1 latency_us=250
 ///   bridge link=0 etag=40
 ///   route etag=40 from=0 to=1 period_us=7000 hop_deadline_us=10000
-///         ... e2e_deadline_us=30000 dlc=8     (one line; wrapped for width)
+///         ... e2e_deadline_us=30000 dlc=8 miss_target=1e-6
+///         (one line; wrapped for width)
 ///   stream segment=1 class=srt node=3 etag=20 dlc=8 period_us=5000
 ///
 /// Like the calendar-image and scenario formats, parsing is strict: unknown
@@ -50,6 +51,10 @@ struct SegmentSpec {
   std::string calendar;
   /// Measured worst-case clock disagreement Π of this segment's nodes.
   std::optional<Duration> precision;
+  /// Per-attempt omission-fault probability of this segment's bus (the
+  /// fault framework's RandomOmissionFaults rate). 0 = assumed fault-free;
+  /// the probabilistic rule RTEC-T012 keys on it.
+  double fault_rate = 0.0;
   int line = 0;
 };
 
@@ -84,6 +89,11 @@ struct RouteSpec {
   Duration hop_deadline = Duration::zero();
   Duration e2e_deadline = Duration::zero();
   int dlc = 8;
+  /// End-to-end deadline-miss probability budget (per instance) this
+  /// channel promises; absent = no probabilistic promise. Checked by
+  /// RTEC-T012 under `rtec_verify --prob`: the hop-composed miss
+  /// probability from sched/prob_rta must stay at or below it.
+  std::optional<double> miss_target;
   int line = 0;
 };
 

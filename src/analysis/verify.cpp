@@ -190,6 +190,83 @@ std::vector<RouteBound> route_bounds(const TopologyInput& input) {
   return bounds;
 }
 
+std::vector<RouteMiss> route_miss_bounds(const TopologyInput& input,
+                                         const VerifyOptions& options) {
+  const TopologySpec& spec = input.spec;
+  const Resolved resolved = resolve(spec);
+
+  std::vector<std::optional<Path>> paths;
+  paths.reserve(spec.routes.size());
+  for (const RouteSpec& route : spec.routes)
+    paths.push_back(find_path(resolved, route.etag, route.from, route.to));
+
+  std::map<int, std::optional<SegmentBudget>> budgets;
+  for (const int seg : resolved.segments)
+    budgets[seg] = segment_budget(input, seg);
+
+  std::vector<RouteMiss> out;
+  out.reserve(spec.routes.size());
+  for (std::size_t i = 0; i < spec.routes.size(); ++i) {
+    RouteMiss rm;
+    rm.route = i;
+    if (!paths[i]) {
+      out.push_back(std::move(rm));
+      continue;
+    }
+    rm.computable = true;
+    const RouteSpec& route = spec.routes[i];
+    for (const int seg : paths[i]->segments) {
+      const auto& budget = budgets[seg];
+      const BusConfig bus = budget ? budget->bus : BusConfig{};
+      const SegmentSpec* sspec = spec.segment_by_id(seg);
+
+      HopQuery query;
+      query.frame_bits = worst_case_wire_bits(route.dlc, /*extended=*/true);
+      query.blocking_bits = duration_to_bits(max_blocking_time(bus), bus);
+      query.deadline_bits = duration_to_bits(route.hop_deadline, bus);
+      query.faults.p = sspec != nullptr ? sspec->fault_rate : 0.0;
+
+      // Competitors under the conservative model: every declared local SRT
+      // stream, every other route transiting this segment, and the HRT
+      // calendar's reserved share (one worst-case burst per round).
+      for (const TopologyStream& ts : spec.streams) {
+        if (ts.segment != seg || ts.stream.traffic != TrafficClass::kSrt)
+          continue;
+        if (ts.stream.period <= Duration::zero()) continue;
+        query.interferers.push_back(
+            {worst_case_wire_bits(ts.stream.dlc, /*extended=*/true),
+             duration_to_bits(ts.stream.period, bus)});
+      }
+      for (std::size_t j = 0; j < spec.routes.size(); ++j) {
+        if (j == i || !paths[j]) continue;
+        const auto& other_segs = paths[j]->segments;
+        if (std::find(other_segs.begin(), other_segs.end(), seg) ==
+            other_segs.end())
+          continue;
+        query.interferers.push_back(
+            {worst_case_wire_bits(spec.routes[j].dlc, /*extended=*/true),
+             duration_to_bits(spec.routes[j].period, bus)});
+      }
+      if (budget && budget->round > Duration::zero() &&
+          budget->hrt_fraction > 0.0) {
+        const auto round_bits = duration_to_bits(budget->round, bus);
+        const double share =
+            std::min(1.0, budget->hrt_fraction) * static_cast<double>(round_bits);
+        query.interferers.push_back(
+            {static_cast<int>(std::min<double>(share + 1.0, 1e9)), round_bits});
+      }
+
+      const ResponseDistribution hop =
+          hop_response_distribution(query, options.prob);
+      rm.hop_miss.push_back(hop.miss_probability);
+      rm.tail_epsilon += hop.tail_epsilon;
+    }
+    rm.e2e_miss = compose_route_miss(rm.hop_miss);
+    out.push_back(std::move(rm));
+  }
+  return out;
+}
+
 LintReport verify_topology(const TopologyInput& input,
                            const VerifyOptions& options) {
   const TopologySpec& spec = input.spec;
@@ -451,6 +528,30 @@ LintReport verify_topology(const TopologyInput& input,
           << " + clock precision, plus each gateway's forward latency)";
       add(Rule::kE2eDeadline, Severity::kError, msg.str(), -1, -1,
           static_cast<int>(i), route.line);
+    }
+  }
+
+  // --- T012: probabilistic end-to-end miss budget (opt-in) ---------------
+  // The worst-case rules above assume the fault budget holds; this rule
+  // prices the assumption itself: under each segment's declared per-attempt
+  // fault_rate, the convolution engine's (conservative) per-hop deadline-
+  // miss probabilities compose by union bound and must stay inside the
+  // route's declared miss_target.
+  if (options.probabilistic) {
+    for (const RouteMiss& rm : route_miss_bounds(input, options)) {
+      const RouteSpec& route = spec.routes[rm.route];
+      if (!rm.computable || !route.miss_target) continue;
+      if (rm.e2e_miss > *route.miss_target) {
+        std::ostringstream msg;
+        msg << "hop-composed deadline-miss probability " << rm.e2e_miss
+            << " exceeds the declared per-instance target "
+            << *route.miss_target << " over " << rm.hop_miss.size()
+            << " hop(s) (conservative busy-window model under each "
+               "segment's fault_rate; includes the convolution tail bound "
+            << rm.tail_epsilon << ")";
+        add(Rule::kProbE2eMiss, Severity::kError, msg.str(), -1, -1,
+            static_cast<int>(rm.route), route.line);
+      }
     }
   }
 

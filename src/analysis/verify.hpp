@@ -4,6 +4,7 @@
 
 #include "analysis/report.hpp"
 #include "analysis/topology.hpp"
+#include "sched/prob_rta.hpp"
 
 /// \file verify.hpp
 /// rtec-verify — whole-topology static verifier. PR 1's linter checks one
@@ -40,6 +41,15 @@ struct VerifyOptions {
   /// merge its findings (tagged with the segment id). Off = topology rules
   /// only (used by tests that target a single T rule).
   bool per_segment_lint = true;
+  /// RTEC-T012: run the convolution-based probabilistic engine
+  /// (sched/prob_rta) over every route that declares a miss_target and
+  /// error when the hop-composed miss probability exceeds it. Opt-in
+  /// (`rtec_verify --prob`) so the default report stays byte-identical
+  /// for topologies that carry the new keys.
+  bool probabilistic = false;
+  /// Numerical policy of the probabilistic engine (pruning/truncation
+  /// budgets — both surface in the reported tail epsilon).
+  ProbRtaOptions prob;
 };
 
 /// Worst-case end-to-end latency bound of one declared route, composed
@@ -60,6 +70,29 @@ struct RouteBound {
 /// end-to-end bound. Routes whose path cannot be resolved (structural
 /// errors, unreachable destination) come back with computable = false.
 [[nodiscard]] std::vector<RouteBound> route_bounds(const TopologyInput& input);
+
+/// Probabilistic analogue of RouteBound: the per-hop transmission-
+/// deadline-miss probabilities of one route under each segment's declared
+/// fault_rate (sched/prob_rta's conservative busy-window model: worst-case
+/// blocker, critical-instant interferers — local SRT streams, every route
+/// transiting the segment, and the calendar's reserved share — plus
+/// unbounded fault retries truncated at the hop deadline), and their
+/// union-bound composition. `tail_epsilon` bounds the probability mass
+/// the convolution pruned or truncated; it is *included* in e2e_miss, so
+/// the reported number stays a sound upper bound.
+struct RouteMiss {
+  std::size_t route = 0;      ///< index into TopologySpec::routes
+  bool computable = false;    ///< path resolved through declared bridges
+  double e2e_miss = 0.0;      ///< 1 − Π (1 − hop_miss), incl. tail_epsilon
+  double tail_epsilon = 0.0;  ///< summed pruning/truncation bound
+  std::vector<double> hop_miss;  ///< per segment visited, from → to
+};
+
+/// Runs the probabilistic engine over every route (independent of any
+/// miss_target declarations, so `--prob` can print the numbers even for
+/// routes that promise nothing).
+[[nodiscard]] std::vector<RouteMiss> route_miss_bounds(
+    const TopologyInput& input, const VerifyOptions& options = {});
 
 /// Runs the whole RTEC-T rule catalog (plus, by default, the per-segment
 /// calendar lint) over a topology. Findings carry the declared segment id,

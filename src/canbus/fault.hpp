@@ -48,18 +48,27 @@ class NoFaults final : public FaultModel {
 };
 
 /// Independent per-transmission omission faults with probability `p`; the
-/// error position is uniform over the frame.
+/// error position is uniform over the frame, unless `fixed_position` pins
+/// it (1.0 = the error hits on the very last bit — the worst case the
+/// analytic engine's `worst_case_position` mirrors exactly, which makes
+/// fixed-position runs the tight differential oracle for sched/prob_rta).
+/// A pinned position still consumes the uniform draw, so the Bernoulli
+/// fault *pattern* of a given seed is identical in both modes.
 class RandomOmissionFaults final : public FaultModel {
  public:
-  RandomOmissionFaults(double p, std::uint64_t seed) : p_{p}, rng_{seed} {}
+  RandomOmissionFaults(double p, std::uint64_t seed,
+                       std::optional<double> fixed_position = std::nullopt)
+      : p_{p}, fixed_position_{fixed_position}, rng_{seed} {}
 
   std::optional<double> corrupt(const FaultContext&) override {
     if (!rng_.bernoulli(p_)) return std::nullopt;
-    return 0.05 + 0.95 * rng_.uniform();  // somewhere past the first bits
+    const double u = 0.05 + 0.95 * rng_.uniform();  // past the first bits
+    return fixed_position_.value_or(u);
   }
 
  private:
   double p_;
+  std::optional<double> fixed_position_;
   Rng rng_;
 };
 

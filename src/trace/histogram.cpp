@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "util/stats.hpp"
+
 namespace rtec {
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
@@ -28,6 +30,18 @@ void Histogram::add(double x) {
 
 double Histogram::bucket_lo(std::size_t i) const {
   return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const std::size_t rank = quantile_rank(total_, q);
+  if (rank < underflow_) return lo_;
+  std::size_t cum = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (rank < cum) return bucket_lo(i);
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());  // overflow bin
 }
 
 std::string Histogram::render(double unit_scale, const char* unit,

@@ -28,6 +28,14 @@ class Histogram {
   [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
   [[nodiscard]] double bucket_lo(std::size_t i) const;
 
+  /// Nearest-rank q-quantile (util/stats quantile_rank — the same rank
+  /// convention as SampleSet), resolved to the LOWER EDGE of the bucket
+  /// holding the ranked sample: exact whenever samples sit on the bucket
+  /// grid (bench_analytic aligns buckets to the bus bit time for this),
+  /// otherwise quantised down by at most one bucket width. Ranked samples
+  /// in the underflow bin report lo, in the overflow bin hi; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
   /// Multi-line ASCII rendering: one row per non-empty bucket,
   /// "[lo..hi) NNN ########". `unit_scale` divides the bucket bounds for
   /// display (e.g. 1000 to print microseconds for nanosecond samples).

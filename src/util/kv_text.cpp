@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <sstream>
 
 namespace rtec {
@@ -30,6 +31,34 @@ Expected<std::int64_t, std::string> KvMap::get_int_in(std::string_view key,
   if (*v < lo || *v > hi)
     return Unexpected{std::string{key} + " out of range [" +
                       std::to_string(lo) + ", " + std::to_string(hi) + "]"};
+  return v;
+}
+
+Expected<double, std::string> KvMap::get_double(std::string_view key) const {
+  const auto it = values.find(key);
+  if (it == values.end())
+    return Unexpected{std::string{"missing "} + std::string{key}};
+  const std::string& text = it->second;
+  double v = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec == std::errc::result_out_of_range)
+    return Unexpected{std::string{key} + " value out of range"};
+  if (ec != std::errc{} || ptr != last || !std::isfinite(v))
+    return Unexpected{std::string{"non-numeric value for "} + std::string{key}};
+  return v;
+}
+
+Expected<double, std::string> KvMap::get_double_in(std::string_view key,
+                                                   double lo, double hi) const {
+  auto v = get_double(key);
+  if (!v) return v;
+  if (*v < lo || *v > hi) {
+    std::ostringstream msg;
+    msg << key << " out of range [" << lo << ", " << hi << "]";
+    return Unexpected{msg.str()};
+  }
   return v;
 }
 

@@ -38,6 +38,17 @@ class KvMap {
   [[nodiscard]] Expected<std::int64_t, std::string> get_int_in(
       std::string_view key, std::int64_t lo, std::int64_t hi) const;
 
+  /// The value of `key` parsed as a finite decimal floating-point number
+  /// (scientific notation accepted — fault rates and miss targets live at
+  /// 1e-9 scale). Same strictness as get_int: trailing garbage, inf/nan
+  /// and overflow are errors.
+  [[nodiscard]] Expected<double, std::string> get_double(
+      std::string_view key) const;
+
+  /// get_double, but additionally rejects values outside [lo, hi].
+  [[nodiscard]] Expected<double, std::string> get_double_in(
+      std::string_view key, double lo, double hi) const;
+
   /// The raw text value (for non-numeric fields such as class=srt).
   [[nodiscard]] Expected<std::string, std::string> get_str(
       std::string_view key) const;

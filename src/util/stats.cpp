@@ -5,6 +5,11 @@
 
 namespace rtec {
 
+std::size_t quantile_rank(std::size_t n, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  return static_cast<std::size_t>(q * static_cast<double>(n - 1) + 0.5);
+}
+
 void OnlineStats::add(double x) {
   if (n_ == 0) {
     min_ = x;
@@ -32,10 +37,7 @@ double SampleSet::quantile(double q) const {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
-  q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[rank];
+  return samples_[quantile_rank(samples_.size(), q)];
 }
 
 double SampleSet::mean() const {

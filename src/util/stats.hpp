@@ -13,6 +13,13 @@
 
 namespace rtec {
 
+/// Nearest-rank index of the q-quantile among n ascending samples — the
+/// ONE quantile convention of the repo. SampleSet, trace::Histogram and
+/// the bench median helpers all delegate here, so analytic-vs-simulated
+/// quantile comparisons (bench_analytic) can never disagree about rank
+/// arithmetic. q is clamped to [0, 1]; n must be ≥ 1.
+[[nodiscard]] std::size_t quantile_rank(std::size_t n, double q);
+
 /// Streaming mean / variance / extrema without storing samples.
 class OnlineStats {
  public:

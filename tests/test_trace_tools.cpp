@@ -9,6 +9,7 @@
 #include "core/status.hpp"
 #include "trace/bus_recorder.hpp"
 #include "trace/histogram.hpp"
+#include "util/stats.hpp"
 
 namespace rtec {
 namespace {
@@ -108,6 +109,66 @@ TEST(HistogramTest, RenderShowsOnlyNonEmptyBuckets) {
   EXPECT_EQ(text.find("[0.0..100.0)"), std::string::npos);  // empty bucket
   // The dominant bucket has the longest bar.
   EXPECT_NE(text.find("####"), std::string::npos);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  const Histogram h{0, 100, 10};
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileSingleBucketReportsItsLowerEdge) {
+  Histogram h{10, 20, 1};
+  for (double x : {11.0, 14.0, 19.9}) h.add(x);
+  for (double q : {0.0, 0.5, 1.0}) EXPECT_DOUBLE_EQ(h.quantile(q), 10.0);
+}
+
+TEST(HistogramTest, QuantileSaturatedOverflowReportsHi) {
+  Histogram h{0, 10, 2};
+  for (int i = 0; i < 5; ++i) h.add(100.0);  // everything overflows
+  for (double q : {0.0, 0.5, 1.0}) EXPECT_DOUBLE_EQ(h.quantile(q), 10.0);
+  // One in-range sample: the low ranks find it, the top ranks saturate.
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileUnderflowReportsLo) {
+  Histogram h{10, 20, 2};
+  h.add(-5.0);
+  h.add(12.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);  // underflow clamps to lo
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // 12 lives in bucket [10,15)
+}
+
+TEST(HistogramTest, QuantileMonotoneUnderAdversarialBoundaries) {
+  // Samples exactly on bucket boundaries, plus under- and overflow: the
+  // quantile must still be a monotone step function of q.
+  Histogram h{0, 8, 4};
+  for (double x : {-1.0, 0.0, 2.0, 2.0, 4.0, 6.0, 8.0, 9.0}) h.add(x);
+  double prev = h.quantile(0.0);
+  for (double q = 0.0; q <= 1.0; q += 0.005) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(HistogramTest, QuantileAgreesWithSampleSetOnGridSamples) {
+  // When samples sit exactly on the bucket grid the histogram quantile is
+  // exact — same nearest-rank convention (util/stats quantile_rank), same
+  // values. This is the property bench_analytic relies on.
+  Histogram h{0, 1000, 100};
+  SampleSet s;
+  for (int i = 0; i < 500; ++i) {
+    const double x = static_cast<double>((i * 37) % 100) * 10.0;
+    h.add(x);
+    s.add(x);
+  }
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), s.quantile(q)) << "q=" << q;
 }
 
 // ------------------------------------------------------------ status dumps

@@ -478,6 +478,109 @@ TEST(VerifyTopology, T010FlagsInfeasibleComposedSrtSet) {
   EXPECT_FALSE(has_rule(verify_text(kCleanPair), Rule::kHopInfeasible));
 }
 
+// --------------------------------------------- T012 probabilistic promise
+
+/// Noisy two-segment chain whose route promises a 1e-9 per-instance miss
+/// budget it cannot keep under a 500 us hop deadline at p = 0.2.
+constexpr const char* kNoisyPair = R"(topology v1
+segment id=0 precision_ns=33000 fault_rate=0.2
+segment id=1 precision_ns=33000 fault_rate=0.2
+link id=0 a=0 b=1 latency_us=250
+bridge link=0 etag=40
+route etag=40 from=0 to=1 period_us=7000 hop_deadline_us=500 e2e_deadline_us=30000 dlc=8 miss_target=1e-9
+)";
+
+TEST(VerifyTopology, T012FlagsInfeasibleMissTarget) {
+  VerifyOptions options;
+  options.probabilistic = true;
+  const LintReport r = verify_text(kNoisyPair, options);
+  const Finding* f = find_rule(r, Rule::kProbE2eMiss);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_NE(f->message.find("miss probability"), std::string::npos);
+}
+
+TEST(VerifyTopology, T012IsOptIn) {
+  // The identical infeasible promise stays silent without --prob.
+  EXPECT_FALSE(has_rule(verify_text(kNoisyPair), Rule::kProbE2eMiss));
+}
+
+TEST(VerifyTopology, T012SilentOnKeptPromise) {
+  // Same chain with a sane hop deadline: miss ≈ composed p^j tails ≪ 1e-3.
+  std::string kept{kNoisyPair};
+  const std::string::size_type at = kept.find("hop_deadline_us=500");
+  ASSERT_NE(at, std::string::npos);
+  kept.replace(at, 19, "hop_deadline_us=10000");
+  const std::string::size_type tgt = kept.find("miss_target=1e-9");
+  ASSERT_NE(tgt, std::string::npos);
+  kept.replace(tgt, 16, "miss_target=1e-3");
+  VerifyOptions options;
+  options.probabilistic = true;
+  EXPECT_FALSE(has_rule(verify_text(kept, options), Rule::kProbE2eMiss));
+}
+
+TEST(VerifyTopology, T012IgnoresRoutesWithoutTarget) {
+  std::string silent{kNoisyPair};
+  const std::string::size_type at = silent.find(" miss_target=1e-9");
+  ASSERT_NE(at, std::string::npos);
+  silent.erase(at, 17);
+  VerifyOptions options;
+  options.probabilistic = true;
+  // Still infeasible, but nothing was promised — the numbers are only
+  // reported (route_miss_bounds), never gated.
+  EXPECT_FALSE(has_rule(verify_text(silent, options), Rule::kProbE2eMiss));
+}
+
+TEST(RouteMissBounds, ReportsEveryResolvableRoute) {
+  TopologyInput input;
+  input.spec = parse_ok(kNoisyPair);
+  const std::vector<RouteMiss> misses = route_miss_bounds(input);
+  ASSERT_EQ(misses.size(), 1u);
+  EXPECT_TRUE(misses[0].computable);
+  EXPECT_EQ(misses[0].hop_miss.size(), 2u);  // both segments visited
+  EXPECT_GT(misses[0].e2e_miss, 0.01);       // ~0.06 at this deadline
+  EXPECT_LT(misses[0].e2e_miss, 1.0);
+  // The composed number never undercuts the union bound of the hop
+  // probabilities it reports (tail epsilon only ever adds).
+  EXPECT_GE(misses[0].e2e_miss,
+            compose_route_miss(misses[0].hop_miss) - 1e-12);
+}
+
+TEST(TopologyParse, FaultRateAndMissTargetRoundTrip) {
+  const TopologySpec spec = parse_ok(R"(topology v1
+segment id=0 fault_rate=0.25
+segment id=1
+route etag=4 from=0 to=1 period_us=100 hop_deadline_us=100 e2e_deadline_us=100 miss_target=1e-6
+route etag=5 from=0 to=1 period_us=100 hop_deadline_us=100 e2e_deadline_us=100
+)");
+  ASSERT_EQ(spec.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.segments[0].fault_rate, 0.25);
+  EXPECT_DOUBLE_EQ(spec.segments[1].fault_rate, 0.0);
+  ASSERT_EQ(spec.routes.size(), 2u);
+  ASSERT_TRUE(spec.routes[0].miss_target.has_value());
+  EXPECT_DOUBLE_EQ(*spec.routes[0].miss_target, 1e-6);
+  EXPECT_FALSE(spec.routes[1].miss_target.has_value());
+}
+
+TEST(TopologyParse, RejectsMalformedProbabilisticKeys) {
+  // Out of range (a certain fault leaves nothing schedulable), not a
+  // number, non-finite, and trailing garbage.
+  EXPECT_FALSE(
+      parse_error("topology v1\nsegment id=0 fault_rate=1.0\n").empty());
+  EXPECT_FALSE(
+      parse_error("topology v1\nsegment id=0 fault_rate=-0.1\n").empty());
+  EXPECT_FALSE(
+      parse_error("topology v1\nsegment id=0 fault_rate=abc\n").empty());
+  EXPECT_FALSE(
+      parse_error("topology v1\nsegment id=0 fault_rate=inf\n").empty());
+  EXPECT_FALSE(
+      parse_error("topology v1\nsegment id=0 fault_rate=0.5x\n").empty());
+  EXPECT_FALSE(parse_error("topology v1\nroute etag=4 from=0 to=1 "
+                           "period_us=1 hop_deadline_us=1 e2e_deadline_us=1 "
+                           "miss_target=1.5\n")
+                   .empty());
+}
+
 // ------------------------------------------------ calendar lint merging
 
 TEST(VerifyTopology, MergesPerSegmentCalendarLintFindings) {

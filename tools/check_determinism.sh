@@ -20,10 +20,13 @@ cd "$root" || exit 2
 
 # Order-critical trees: the event kernel, shard engine and topology
 # generator (src/sim), the bus arbitration model (src/canbus), the
-# protocol engines (src/core), the offline schedulers (src/sched) and the
-# periodic-task clocks (src/time). Analysis/tools/tests may use host
-# facilities freely; they never run inside a simulation.
-dirs="src/sim src/canbus src/core src/sched src/time"
+# protocol engines (src/core), the offline schedulers and the analytic
+# probabilistic engine (src/sched — rtec_verify --prob results must be
+# reproducible bit-for-bit), the periodic-task clocks (src/time) and the
+# static verifier (src/analysis — its reports are golden-tested).
+# Bench/tools/tests may use host facilities freely; they never run inside
+# a simulation.
+dirs="src/sim src/canbus src/core src/sched src/time src/analysis"
 for d in $dirs; do
   if [ ! -d "$d" ]; then
     echo "check_determinism: missing directory $d (run from the repo root)" >&2

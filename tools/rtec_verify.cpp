@@ -11,6 +11,8 @@
 //     --json                machine-readable report on stdout
 //     --strict              exit non-zero on warnings too
 //     --bounds              print composed per-route bounds (text mode)
+//     --prob                probabilistic rule RTEC-T012 + per-route miss
+//                           probabilities (text mode)
 //     --oracle              run the differential simulation oracle
 //     --seeds <a,b,c>       oracle seeds (default 1,2,3)
 //     --sim-ms <n>          oracle simulated time per seed (default 200)
@@ -45,7 +47,7 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--strict] [--bounds] [--oracle]\n"
+               "usage: %s [--json] [--strict] [--bounds] [--prob] [--oracle]\n"
                "          [--seeds <a,b,c>] [--sim-ms <n>] [--warn-util <f>]\n"
                "          [--no-calendar-lint] <topology.topo>\n",
                argv0);
@@ -102,6 +104,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (std::strcmp(argv[i], "--bounds") == 0) {
       print_bounds = true;
+    } else if (std::strcmp(argv[i], "--prob") == 0) {
+      options.probabilistic = true;
     } else if (std::strcmp(argv[i], "--oracle") == 0) {
       run_oracle = true;
     } else if (std::strcmp(argv[i], "--no-calendar-lint") == 0) {
@@ -196,6 +200,21 @@ int main(int argc, char** argv) {
         std::printf("route %zu etag=%u %d->%d: no resolvable path\n",
                     rb.route, static_cast<unsigned>(route.etag), route.from,
                     route.to);
+    }
+  }
+
+  if (options.probabilistic && !json) {
+    for (const RouteMiss& rm : route_miss_bounds(input, options)) {
+      const RouteSpec& route = input.spec.routes[rm.route];
+      if (!rm.computable) continue;
+      char target[32] = "none";
+      if (route.miss_target)
+        std::snprintf(target, sizeof target, "%.1e", *route.miss_target);
+      std::printf("route %zu etag=%u %d->%d: miss probability %.3e over "
+                  "%zu hop(s), target %s, tail bound %.1e\n",
+                  rm.route, static_cast<unsigned>(route.etag), route.from,
+                  route.to, rm.e2e_miss, rm.hop_miss.size(), target,
+                  rm.tail_epsilon);
     }
   }
 
