@@ -55,26 +55,13 @@ int main() {
   if (!examples::lint_calendar_or_report(scn.calendar(), "fault_tolerance"))
     return 1;
 
-  // Faults: 2% random omissions + a 1 ms burst at 100 ms.
-  auto random_faults = std::make_unique<RandomOmissionFaults>(0.02, 42);
-  auto burst = std::make_unique<BurstFaults>(TimePoint::origin() + 100_ms,
-                                             TimePoint::origin() + 101_ms);
+  // Faults: 2% random omissions + a 1 ms burst at 100 ms. The composite
+  // owns its children, so the scenario keeps everything alive.
   auto composite = std::make_unique<CompositeFaults>();
-  composite->add(*random_faults);
-  composite->add(*burst);
-  // Scenario owns one model; keep the children alive alongside it.
-  struct Owning : FaultModel {
-    std::unique_ptr<FaultModel> a, b;
-    std::unique_ptr<CompositeFaults> all;
-    std::optional<double> corrupt(const FaultContext& ctx) override {
-      return all->corrupt(ctx);
-    }
-  };
-  auto owning = std::make_unique<Owning>();
-  owning->a = std::move(random_faults);
-  owning->b = std::move(burst);
-  owning->all = std::move(composite);
-  scn.set_fault_model(std::move(owning));
+  composite->add(std::make_unique<RandomOmissionFaults>(0.02, 42));
+  composite->add(std::make_unique<BurstFaults>(TimePoint::origin() + 100_ms,
+                                               TimePoint::origin() + 101_ms));
+  scn.set_fault_model(std::move(composite));
 
   Hrtec fragile_pub{sensor.middleware()};
   Hrtec hardened_pub{sensor.middleware()};

@@ -44,9 +44,15 @@ void CanBus::schedule_arbitration() {
 void CanBus::arbitrate() {
   assert(state_ == State::kIdle);
 
+  // Winner = globally lowest identifier; among several nodes offering the
+  // SAME identifier (a spoofing attacker meeting its victim — see the
+  // header), the lowest NodeId is the deterministic primary transmitter
+  // and the next-lowest the superimposed rival.
   CanController* winner = nullptr;
   CanController::MailboxId winner_mb = 0;
   std::uint32_t winner_id = 0;
+  CanController* rival = nullptr;
+  CanController::MailboxId rival_mb = 0;
   for (CanController* c : controllers_) {
     const auto mb = c->arbitration_candidate();
     if (!mb) continue;
@@ -55,10 +61,19 @@ void CanBus::arbitrate() {
       winner = c;
       winner_mb = *mb;
       winner_id = id;
-    } else {
-      // Two nodes offering the same identifier would collide destructively
-      // on real CAN; the middleware's TxNode field rules it out.
-      assert(id != winner_id && "identifier collision between nodes");
+      rival = nullptr;
+    } else if (id == winner_id) {
+      if (c->node() < winner->node()) {
+        if (rival == nullptr || winner->node() < rival->node()) {
+          rival = winner;
+          rival_mb = winner_mb;
+        }
+        winner = c;
+        winner_mb = *mb;
+      } else if (rival == nullptr || c->node() < rival->node()) {
+        rival = c;
+        rival_mb = *mb;
+      }
     }
   }
   if (winner == nullptr) return;  // bus stays idle
@@ -74,7 +89,22 @@ void CanBus::arbitrate() {
 
   bool success = true;
   int occupied_bits = frame_bits;
-  if (faults_ != nullptr) {
+  if (rival != nullptr) {
+    rival->on_tx_started(rival_mb);
+    const int diff_bit =
+        frame_first_difference_bit(frame, rival->mailbox_frame(rival_mb));
+    if (diff_bit > 0) {
+      // One of the two reads back the complement of what it drove at the
+      // first differing bit and signals an error there. Bit positions in
+      // the unstuffed region approximate the stuffed wire position at
+      // frame-level fidelity; the result is deterministic either way.
+      success = false;
+      occupied_bits = std::min(diff_bit, frame_bits) + kErrorFrameBits;
+    }
+    // Bit-identical frames superimpose cleanly: one frame on the wire,
+    // both senders see the ACK (the normal fault path below still applies).
+  }
+  if (success && faults_ != nullptr) {
     const FaultContext ctx{frame, winner->node(), start, attempt};
     if (const auto pos = faults_->corrupt(ctx)) {
       success = false;
@@ -87,16 +117,17 @@ void CanBus::arbitrate() {
 
   const Duration occupied = cfg_.bit_time() * occupied_bits;
   sim_.schedule_after(occupied, [this, winner, winner_mb, frame, start, success,
-                                 occupied_bits, attempt] {
+                                 occupied_bits, attempt, rival, rival_mb] {
     finish_transmission(winner, winner_mb, frame, start, success, occupied_bits,
-                        attempt);
+                        attempt, rival, rival_mb);
   });
 }
 
 void CanBus::finish_transmission(CanController* sender,
                                  CanController::MailboxId mb, CanFrame frame,
                                  TimePoint start, bool success, int wire_bits,
-                                 int attempt) {
+                                 int attempt, CanController* rival,
+                                 CanController::MailboxId rival_mb) {
   assert(state_ == State::kTransmitting);
   const TimePoint end = sim_.now();
   const Duration occupied = end - start;
@@ -108,20 +139,22 @@ void CanBus::finish_transmission(CanController* sender,
     error_time_ += occupied;
   }
 
-  // Sender learns the attempt outcome first (its ACK/error observation),
-  // then receivers get the frame (or the error) at end-of-frame time,
-  // then observers.
+  // Transmitters learn the attempt outcome first (their ACK/error
+  // observation), then receivers get the frame (or the error) at
+  // end-of-frame time, then observers.
   sender->on_tx_completed(mb, success, end);
+  if (rival != nullptr) rival->on_tx_completed(rival_mb, success, end);
   for (CanController* c : controllers_) {
-    if (c == sender) continue;
+    if (c == sender || c == rival) continue;
     if (success) {
       c->on_rx(frame, end);
     } else {
       c->on_rx_error();
     }
   }
-  const FrameEvent ev{sender->node(), frame, start, end, success, wire_bits,
-                      attempt};
+  const FrameEvent ev{sender->node(), frame,   start,
+                      end,            success, wire_bits,
+                      attempt,        rival != nullptr};
   for (const Observer& o : observers_) o(ev);
 
   state_ = State::kIntermission;

@@ -31,6 +31,19 @@
 /// and confirms to the sender that *all* operational nodes received it —
 /// CAN's consistency property, which the paper exploits to suppress
 /// redundant HRT copies.
+///
+/// Identifier collisions (attack scenarios): the middleware's TxNode field
+/// rules out two *well-behaved* nodes offering the same identifier, but a
+/// spoofing attacker (canbus/attack.hpp) forges exactly that. When two
+/// controllers offer the same id at one arbitration point, both transmit
+/// superimposed — arbitration cannot separate them — and the bus resolves
+/// it the way real CAN does: at the first serialized bit where the two
+/// frames differ, one node reads back the complement of what it drove and
+/// signals an error; the attempt is corrupted at that bit position and
+/// both transmitters take the tx-error hit. If the two frames are
+/// bit-identical the transmissions superimpose cleanly: one frame appears
+/// on the wire and both senders see it acknowledged. The deterministic
+/// "primary" (the FrameEvent's sender) is the lower NodeId.
 
 namespace rtec {
 
@@ -45,6 +58,9 @@ class CanBus {
     bool success = false;  ///< false: corrupted, consistently dropped
     int wire_bits = 0;     ///< bits the bus was occupied (incl. error frame)
     int attempt = 0;       ///< sender-side attempt number
+    /// Two nodes offered this identifier simultaneously (spoofing attack
+    /// meeting its victim); `sender` is the lower-NodeId transmitter.
+    bool collision = false;
   };
   using Observer = std::function<void(const FrameEvent&)>;
 
@@ -82,9 +98,12 @@ class CanBus {
 
   void schedule_arbitration();
   void arbitrate();
+  /// `rival` (nullable) is a second transmitter that offered the same
+  /// identifier and drove the bus superimposed with `sender`.
   void finish_transmission(CanController* sender, CanController::MailboxId mb,
                            CanFrame frame, TimePoint start, bool success,
-                           int wire_bits, int attempt);
+                           int wire_bits, int attempt, CanController* rival,
+                           CanController::MailboxId rival_mb);
   void end_intermission();
 
   Simulator& sim_;

@@ -22,6 +22,11 @@
 
 namespace rtec {
 
+/// Where inside the frame a deterministic fault model reports the error by
+/// default: halfway through the transmission. Models that need the exact
+/// worst case (last bit) or a near-immediate abort pass their own value.
+inline constexpr double kDefaultErrorPosition = 0.5;
+
 /// Everything a fault model may condition on.
 struct FaultContext {
   const CanFrame& frame;
@@ -73,51 +78,69 @@ class RandomOmissionFaults final : public FaultModel {
 };
 
 /// Every transmission inside [from, to) is corrupted — models EMI bursts.
+/// `error_position` (0, 1] is where inside the frame the error hits, which
+/// fixes how much bus time each aborted attempt burns.
 class BurstFaults final : public FaultModel {
  public:
-  BurstFaults(TimePoint from, TimePoint to) : from_{from}, to_{to} {}
+  BurstFaults(TimePoint from, TimePoint to,
+              double error_position = kDefaultErrorPosition)
+      : from_{from}, to_{to}, error_position_{error_position} {}
 
   std::optional<double> corrupt(const FaultContext& ctx) override {
-    if (ctx.start >= from_ && ctx.start < to_) return 0.5;
+    if (ctx.start >= from_ && ctx.start < to_) return error_position_;
     return std::nullopt;
   }
 
  private:
   TimePoint from_;
   TimePoint to_;
+  double error_position_;
 };
 
 /// Deterministic rule-based faults, e.g. "corrupt the first k attempts of
 /// every frame with priority 0" — the workhorse of the HRT redundancy tests.
+/// Rules are evaluated in add order and the first match wins (later rules
+/// are not consulted), so stateful rules can rely on that short-circuit.
 class ScriptedFaults final : public FaultModel {
  public:
   using Rule = std::function<bool(const FaultContext&)>;
+
+  explicit ScriptedFaults(double error_position = kDefaultErrorPosition)
+      : error_position_{error_position} {}
 
   void add_rule(Rule r) { rules_.push_back(std::move(r)); }
 
   std::optional<double> corrupt(const FaultContext& ctx) override {
     for (const auto& rule : rules_)
-      if (rule(ctx)) return 0.5;
+      if (rule(ctx)) return error_position_;
     return std::nullopt;
   }
 
  private:
   std::vector<Rule> rules_;
+  double error_position_;
 };
 
-/// First child reporting a fault wins.
+/// First child reporting a fault wins; later children are not consulted for
+/// that transmission (their RNG streams only advance when reached). Owns
+/// its children, so a composite handed to Scenario::set_fault_model keeps
+/// every part alive for the scenario's whole lifetime.
 class CompositeFaults final : public FaultModel {
  public:
-  void add(FaultModel& child) { children_.push_back(&child); }
+  /// Takes ownership; returns the child for further configuration.
+  FaultModel& add(std::unique_ptr<FaultModel> child) {
+    children_.push_back(std::move(child));
+    return *children_.back();
+  }
 
   std::optional<double> corrupt(const FaultContext& ctx) override {
-    for (FaultModel* c : children_)
+    for (const auto& c : children_)
       if (auto f = c->corrupt(ctx)) return f;
     return std::nullopt;
   }
 
  private:
-  std::vector<FaultModel*> children_;
+  std::vector<std::unique_ptr<FaultModel>> children_;
 };
 
 }  // namespace rtec

@@ -86,6 +86,19 @@ Duration frame_duration(const CanFrame& f, const BusConfig& cfg) {
   return cfg.bit_time() * frame_wire_bits(f);
 }
 
+int frame_first_difference_bit(const CanFrame& a, const CanFrame& b) {
+  const FrameBits fa = frame_stuffable_bits(a);
+  const FrameBits fb = frame_stuffable_bits(b);
+  const int common = fa.count < fb.count ? fa.count : fb.count;
+  for (int i = 0; i < common; ++i) {
+    if (fa.bits[static_cast<std::size_t>(i)] !=
+        fb.bits[static_cast<std::size_t>(i)])
+      return i + 1;
+  }
+  if (fa.count != fb.count) return common + 1;
+  return 0;
+}
+
 int worst_case_wire_bits(int dlc, bool extended) {
   assert(dlc >= 0 && dlc <= 8);
   const int g = extended ? 54 : 34;  // stuffable control + CRC bits

@@ -66,6 +66,13 @@ struct FrameBits {
 /// NOT included).
 [[nodiscard]] Duration frame_duration(const CanFrame& f, const BusConfig& cfg);
 
+/// 1-based index of the first stuffable-region bit at which the two frames'
+/// serialized streams differ (two nodes driving the bus with these frames
+/// simultaneously corrupt each other at this bit). Returns 0 when the
+/// regions are bit-identical — the transmissions superimpose cleanly.
+[[nodiscard]] int frame_first_difference_bit(const CanFrame& a,
+                                             const CanFrame& b);
+
 /// Worst-case wire bits for a frame with `dlc` data bytes, assuming maximal
 /// bit stuffing: g + 8*dlc + 10 + floor((g + 8*dlc - 1) / 4), where g = 34
 /// for base format and g = 54 for extended format, plus CRC delimiter, ACK

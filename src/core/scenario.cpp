@@ -65,6 +65,61 @@ void Scenario::set_fault_model(std::unique_ptr<FaultModel> model, int network) {
   net.bus.set_fault_model(net.faults.get());
 }
 
+AttackModel& Scenario::install_attack(std::unique_ptr<AttackModel> attack,
+                                      NodeId attacker_id, std::uint64_t seed,
+                                      int network) {
+  assert(network >= 0 && network < cfg_.networks);
+  assert(!nodes_.contains({network, attacker_id}) &&
+         "attacker id collides with a legitimate node on this segment");
+  Network& net = *networks_.at(static_cast<std::size_t>(network));
+
+  CanController* attacker = nullptr;
+  for (const auto& c : net.attackers)
+    if (c->node() == attacker_id) attacker = c.get();
+  if (attacker == nullptr) {
+    net.attackers.push_back(
+        std::make_unique<CanController>(segment_sim(network), attacker_id));
+    attacker = net.attackers.back().get();
+    net.bus.attach(*attacker);
+  }
+
+  AttackContext ctx;
+  ctx.sim = &segment_sim(network);
+  ctx.bus = &net.bus;
+  ctx.attacker = attacker;
+  ctx.seed = seed;
+  ctx.victim_controller = [this, network](NodeId id) -> CanController* {
+    const auto it = nodes_.find({network, id});
+    return it == nodes_.end() ? nullptr : &it->second->controller();
+  };
+
+  net.attacks.push_back(std::move(attack));
+  AttackModel& armed = *net.attacks.back();
+  armed.arm(ctx);
+  return armed;
+}
+
+trace::DetectorBank& Scenario::detectors(int network) {
+  Network& net = *networks_.at(static_cast<std::size_t>(network));
+  if (net.detector_bank == nullptr) {
+    net.tap = std::make_unique<trace::StreamTap>(net.bus);
+    net.detector_bank = std::make_unique<trace::DetectorBank>();
+    net.tap->add(net.detector_bank.get());
+  }
+  return *net.detector_bank;
+}
+
+std::uint64_t Scenario::tapped_deliveries(int network) const {
+  const Network& net = *networks_.at(static_cast<std::size_t>(network));
+  return net.tap ? net.tap->deliveries() : 0;
+}
+
+void Scenario::flush_streams() {
+  const TimePoint t = now();
+  for (const auto& net : networks_)
+    if (net->tap) net->tap->finish(t);
+}
+
 Expected<void, std::string> Scenario::load_calendar_image(
     const std::string& text, int network) {
   const auto parsed = calendar_from_text(text);

@@ -6,11 +6,14 @@
 #include <utility>
 #include <vector>
 
+#include "canbus/attack.hpp"
 #include "canbus/bus.hpp"
 #include "canbus/fault.hpp"
 #include "core/node.hpp"
 #include "sched/calendar.hpp"
 #include "sim/shard_engine.hpp"
+#include "trace/detectors.hpp"
+#include "trace/stream.hpp"
 
 /// \file scenario.hpp
 /// Scenario — one simulated deployment: the kernel(s), one or more CAN
@@ -91,6 +94,29 @@ class Scenario {
     return networks_.at(static_cast<std::size_t>(network))->faults.get();
   }
 
+  /// Installs an adversarial workload (canbus/attack.hpp) on one network
+  /// and arms it. `attacker_id` is the adversary's own controller identity
+  /// on that segment and must be unused there (the attacker is an extra
+  /// tap on the wire; forged identifiers are per-frame). Attacks sharing
+  /// an attacker_id share one controller. All attack timing comes from the
+  /// segment's kernel and `seed`, so sharded runs stay bit-identical.
+  /// Returns the installed attack for counter inspection.
+  AttackModel& install_attack(std::unique_ptr<AttackModel> attack,
+                              NodeId attacker_id, std::uint64_t seed,
+                              int network = 0);
+
+  /// The network's streaming detector bank (trace/detectors.hpp), created
+  /// on first use together with a StreamTap on the segment's bus. Add
+  /// detectors to it before running; call flush_streams() when done.
+  [[nodiscard]] trace::DetectorBank& detectors(int network = 0);
+  /// Successful deliveries the network's tap has fed to its observers
+  /// (0 when detectors() was never called for that network).
+  [[nodiscard]] std::uint64_t tapped_deliveries(int network = 0) const;
+
+  /// Ends the streaming observers' input: flushes window state of every
+  /// detector bank at the current time. Call once after the final run.
+  void flush_streams();
+
   /// Loads a configuration image (sched/calendar_io.hpp) into a network's
   /// calendar: every slot is re-admitted; bus/round/gap settings of the
   /// image must match the scenario's (nodes must agree on them).
@@ -168,6 +194,12 @@ class Scenario {
     Calendar calendar;
     std::unique_ptr<FaultModel> faults;
     std::vector<NodeId> gateways;
+    /// Adversary controllers keyed by node id (see install_attack).
+    std::vector<std::unique_ptr<CanController>> attackers;
+    std::vector<std::unique_ptr<AttackModel>> attacks;
+    /// Streaming observer plumbing, created lazily by detectors().
+    std::unique_ptr<trace::StreamTap> tap;
+    std::unique_ptr<trace::DetectorBank> detector_bank;
   };
 
   Config cfg_;

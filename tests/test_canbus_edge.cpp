@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+#include <vector>
+
 #include "canbus/bus.hpp"
 #include "canbus/controller.hpp"
 #include "canbus/fault.hpp"
@@ -182,11 +186,10 @@ TEST_F(CanEdgeFixture, PendingCountAndFreeMailboxes) {
 }
 
 TEST_F(CanEdgeFixture, CompositeFaultsFirstChildWins) {
-  NoFaults clean;
-  BurstFaults burst{TimePoint::origin(), TimePoint::origin() + 100_us};
   CompositeFaults composite;
-  composite.add(clean);
-  composite.add(burst);
+  composite.add(std::make_unique<NoFaults>());
+  composite.add(std::make_unique<BurstFaults>(TimePoint::origin(),
+                                              TimePoint::origin() + 100_us));
   bus.set_fault_model(&composite);
   CanFrame f;
   f.id = 0x100;
@@ -198,6 +201,92 @@ TEST_F(CanEdgeFixture, CompositeFaultsFirstChildWins) {
   ASSERT_TRUE(a.submit(f, TxMode::kAutoRetransmit).has_value());
   sim.run();
   EXPECT_GE(errors, 1);  // the burst child fired despite the clean child
+}
+
+TEST_F(CanEdgeFixture, CompositeFaultsFirstWinsPrecedence) {
+  // Two always-firing children with different error positions: the first
+  // child's position must decide the occupied bus time, and the second
+  // child must never even be consulted (first-wins short-circuit).
+  auto always = [](double pos, int* evaluations) {
+    auto m = std::make_unique<ScriptedFaults>(pos);
+    m->add_rule([evaluations](const FaultContext&) {
+      ++*evaluations;
+      return true;
+    });
+    return m;
+  };
+  int first_evals = 0;
+  int second_evals = 0;
+  CompositeFaults composite;
+  composite.add(always(1.0, &first_evals));
+  composite.add(always(0.25, &second_evals));
+  bus.set_fault_model(&composite);
+
+  CanFrame f;
+  f.id = 0x100;
+  f.dlc = 8;
+  int error_bits = 0;
+  bus.add_observer([&](const CanBus::FrameEvent& ev) {
+    if (!ev.success && error_bits == 0) error_bits = ev.wire_bits;
+  });
+  ASSERT_TRUE(a.submit(f, TxMode::kSingleShot).has_value());
+  sim.run();
+  // Position 1.0 = the full frame plus the error frame on the wire.
+  EXPECT_EQ(error_bits, frame_wire_bits(f) + kErrorFrameBits);
+  EXPECT_EQ(first_evals, 1);
+  EXPECT_EQ(second_evals, 0);
+}
+
+TEST_F(CanEdgeFixture, ScriptedFaultsRuleOrderingShortCircuits) {
+  // Rules run in add order; the first match stops evaluation.
+  std::vector<int> order;
+  ScriptedFaults faults;
+  faults.add_rule([&](const FaultContext&) {
+    order.push_back(1);
+    return false;
+  });
+  faults.add_rule([&](const FaultContext&) {
+    order.push_back(2);
+    return true;
+  });
+  faults.add_rule([&](const FaultContext&) {
+    order.push_back(3);
+    return true;  // never reached: rule 2 already matched
+  });
+  bus.set_fault_model(&faults);
+  CanFrame f;
+  f.id = 0x100;
+  f.dlc = 0;
+  ASSERT_TRUE(a.submit(f, TxMode::kSingleShot).has_value());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(CanEdgeFixture, ErrorPositionParameterScalesBusOccupancy) {
+  // The same burst window with a different error position must charge a
+  // proportionally different number of wire bits per aborted attempt.
+  CanFrame f;
+  f.id = 0x100;
+  f.dlc = 8;
+  const int full = frame_wire_bits(f);
+
+  for (const double pos : {0.25, 0.5, 1.0}) {
+    Simulator isim;
+    CanBus ibus{isim, BusConfig{}};
+    CanController tx{isim, 1};
+    ibus.attach(tx);
+    BurstFaults faults{TimePoint::origin(), TimePoint::origin() + 1_ms, pos};
+    ibus.set_fault_model(&faults);
+    int error_bits = 0;
+    ibus.add_observer([&](const CanBus::FrameEvent& ev) {
+      if (!ev.success) error_bits = ev.wire_bits;
+    });
+    ASSERT_TRUE(tx.submit(f, TxMode::kSingleShot).has_value());
+    isim.run();
+    const int expected =
+        static_cast<int>(std::ceil(pos * full)) + kErrorFrameBits;
+    EXPECT_EQ(error_bits, expected) << "error position " << pos;
+  }
 }
 
 }  // namespace

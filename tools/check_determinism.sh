@@ -23,10 +23,12 @@ cd "$root" || exit 2
 # protocol engines (src/core), the offline schedulers and the analytic
 # probabilistic engine (src/sched — rtec_verify --prob results must be
 # reproducible bit-for-bit), the periodic-task clocks (src/time) and the
-# static verifier (src/analysis — its reports are golden-tested).
+# static verifier (src/analysis — its reports are golden-tested), and the
+# streaming trace consumers (src/trace — the anomaly detectors run inside
+# the simulation and feed the byte-identity differential tests).
 # Bench/tools/tests may use host facilities freely; they never run inside
 # a simulation.
-dirs="src/sim src/canbus src/core src/sched src/time src/analysis"
+dirs="src/sim src/canbus src/core src/sched src/time src/analysis src/trace"
 for d in $dirs; do
   if [ ! -d "$d" ]; then
     echo "check_determinism: missing directory $d (run from the repo root)" >&2
