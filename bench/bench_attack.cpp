@@ -32,6 +32,7 @@
 #include "core/scenario.hpp"
 #include "sched/id_codec.hpp"
 #include "trace/detectors.hpp"
+#include "trace/registry.hpp"
 #include "util/random.hpp"
 #include "util/task_pool.hpp"
 
@@ -113,7 +114,8 @@ struct PointResult {
   std::uint64_t deliveries = 0;  ///< total tapped bus deliveries
 };
 
-PointResult run_point(int attack, std::uint64_t seed, const Timeline& tl) {
+PointResult run_point(int attack, std::uint64_t seed, const Timeline& tl,
+                      rtec::trace::MetricsRegistry* metrics = nullptr) {
   Scenario scn;
   TaskPool pool;
   std::vector<std::unique_ptr<Rng>> rngs;
@@ -217,6 +219,7 @@ PointResult run_point(int attack, std::uint64_t seed, const Timeline& tl) {
     out.delivered = armed->frames_delivered();
   }
   out.deliveries = scn.tapped_deliveries();
+  if (metrics != nullptr) scn.export_metrics(*metrics);
   return out;
 }
 
@@ -312,6 +315,15 @@ int main() {
   }
   bench::rule();
   if (!bj.write()) bench::note("warning: could not write BENCH_attack.json");
+  // Full registry snapshot from one representative attack point
+  // (docs/observability.md) — METRICS_attack.json rides along with the
+  // BENCH json in CI artifacts.
+  {
+    trace::MetricsRegistry metrics;
+    (void)run_point(/*attack=*/2, /*seed=*/1, tl, &metrics);
+    if (!metrics.save("METRICS_attack.json"))
+      bench::note("warning: could not write METRICS_attack.json");
+  }
   bench::note("suspension is the hard case: per-arrival detectors only fire");
   bench::note("when traffic resumes; the window-frequency detector flags the");
   bench::note("silence itself within ~one window of the onset.");

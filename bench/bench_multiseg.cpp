@@ -38,6 +38,7 @@
 #include "core/srtec.hpp"
 #include "sim/topology_gen.hpp"
 #include "time/periodic.hpp"
+#include "trace/registry.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/task_pool.hpp"
@@ -60,7 +61,8 @@ struct Run {
 /// and Poisson chatter on every fourth segment. The busy/light mix is the
 /// point — it is what per-link lookahead exploits and global-min cannot.
 Run run_city(const TopoSpec& topo, int shards, unsigned threads,
-             LookaheadMode mode, Duration sim_time) {
+             LookaheadMode mode, Duration sim_time,
+             rtec::trace::MetricsRegistry* metrics = nullptr) {
   TaskPool pool;
   Scenario::Config cfg;
   cfg.networks = topo.segments;
@@ -160,6 +162,7 @@ Run run_city(const TopoSpec& topo, int shards, unsigned threads,
   r.epochs = static_cast<double>(scn.shard_engine().stats().epochs);
   r.handoffs = static_cast<double>(scn.shard_engine().stats().handoffs);
   r.shard_runs = static_cast<double>(scn.shard_engine().stats().shard_runs);
+  if (metrics != nullptr) scn.export_metrics(*metrics);
   return r;
 }
 
@@ -265,6 +268,16 @@ int main() {
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count());
   if (!bj.write()) bench::note("warning: could not write BENCH_multiseg.json");
+  // Full registry snapshot from one small representative city
+  // (docs/observability.md) — METRICS_multiseg.json rides along with the
+  // BENCH json in CI artifacts.
+  {
+    trace::MetricsRegistry metrics;
+    const TopoSpec topo = make_topology(TopoShape::kChain, 4, /*seed=*/11);
+    (void)run_city(topo, 4, 1, LookaheadMode::kPerLink, 100_ms, &metrics);
+    if (!metrics.save("METRICS_multiseg.json"))
+      bench::note("warning: could not write METRICS_multiseg.json");
+  }
   bench::note("all three configurations execute the identical event sequence");
   bench::note("(tests/test_multiseg.cpp proves bit-equality); epoch_reduction");
   bench::note("= 1 - epochs/epochs_global is host-independent. On a 1-core");

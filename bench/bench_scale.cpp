@@ -5,10 +5,13 @@
 // in parallel on the sweep harness; RTEC_BENCH_QUICK=1 shrinks the sweep
 // for CI smoke runs.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -18,6 +21,7 @@
 #include "core/srtec.hpp"
 #include "time/periodic.hpp"
 #include "trace/csv.hpp"
+#include "trace/registry.hpp"
 #include "util/random.hpp"
 #include "util/task_pool.hpp"
 
@@ -31,13 +35,16 @@ struct Row {
   double realtime_factor = 0;
   double frames = 0;
   double frames_per_wall_s = 0;
+  double rteb_bytes = 0;  ///< recorded runs only
 };
 
-Row run(int node_count, Duration kRun) {
+Row run(int node_count, Duration kRun, bool record = false,
+        rtec::trace::MetricsRegistry* metrics = nullptr) {
   TaskPool pool;
   Scenario::Config cfg;
   cfg.calendar.round_length = 10_ms;
   Scenario scn{cfg};
+  if (record) (void)scn.record_rteb(0);
   Rng rng{static_cast<std::uint64_t>(node_count)};
 
   std::vector<Node*> nodes;
@@ -119,7 +126,14 @@ Row run(int node_count, Duration kRun) {
   row.frames = static_cast<double>(scn.bus().frames_ok() +
                                    scn.bus().frames_error());
   row.frames_per_wall_s = row.frames / row.wall_s;
+  if (record) row.rteb_bytes = static_cast<double>(scn.rteb(0)->bytes().size());
+  if (metrics != nullptr) scn.export_metrics(*metrics);
   return row;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
 }
 
 }  // namespace
@@ -169,6 +183,42 @@ int main() {
             {"frames_per_wall_s", r.frames_per_wall_s}});
   }
   bench::rule();
+
+  // Recorder overhead: interleaved plain/recorded repeats at one
+  // representative point, medians compared. The RTEB recorder must stay
+  // under 5% — it is the always-on observability path (docs/observability.md).
+  const int oh_nodes = quick ? 16 : 32;
+  const int oh_reps = quick ? 3 : 5;
+  std::vector<double> plain_fps, rec_fps;
+  double rteb_bytes = 0;
+  trace::MetricsRegistry metrics;
+  for (int i = 0; i < oh_reps; ++i) {
+    plain_fps.push_back(run(oh_nodes, sim_time).frames_per_wall_s);
+    trace::MetricsRegistry snap;
+    const Row rec = run(oh_nodes, sim_time, true, &snap);
+    rec_fps.push_back(rec.frames_per_wall_s);
+    rteb_bytes = rec.rteb_bytes;
+    metrics = std::move(snap);  // snapshots are identical run to run
+  }
+  const double plain_med = median(plain_fps);
+  const double rec_med = median(rec_fps);
+  const double overhead_pct = 100.0 * (plain_med - rec_med) / plain_med;
+  std::printf("\n  recorder overhead (%d nodes, median of %d):\n", oh_nodes,
+              oh_reps);
+  std::printf("    plain    %.0f frames/wall-s\n", plain_med);
+  std::printf("    recorded %.0f frames/wall-s (%.0f RTEB bytes)\n", rec_med,
+              rteb_bytes);
+  std::printf("    overhead %.2f%% (budget 5%%)\n", overhead_pct);
+  bj.meta("recorder_overhead_pct", overhead_pct);
+  bj.meta("recorder_rteb_bytes", rteb_bytes);
+
+  metrics.set("bench.recorder_overhead_pct", overhead_pct);
+  metrics.set("bench.recorder_nodes",
+              static_cast<std::uint64_t>(oh_nodes));
+  metrics.set("bench.recorder_reps", static_cast<std::uint64_t>(oh_reps));
+  if (!metrics.save("METRICS_scale.json"))
+    bench::note("warning: could not write METRICS_scale.json");
+
   bj.meta("wall_s_total", total_wall);
   if (!bj.write()) bench::note("warning: could not write BENCH_scale.json");
   bench::note("the kernel sustains >100k simulated frames per wall second at");

@@ -2,7 +2,17 @@
 
 #include <utility>
 
+#include "trace/registry.hpp"
+
 namespace rtec {
+
+void Gateway::export_metrics(trace::MetricsRegistry& reg,
+                             const std::string& prefix) const {
+  const Counters c = counters();
+  reg.set(prefix + ".forwarded_a_to_b", c.forwarded_a_to_b);
+  reg.set(prefix + ".forwarded_b_to_a", c.forwarded_b_to_a);
+  reg.set(prefix + ".forward_failures", c.forward_failures);
+}
 
 Expected<void, ChannelError> Gateway::bridge_srt(Subject subject,
                                                  Duration fwd_deadline,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/node.hpp"
@@ -40,6 +41,10 @@
 /// other side).
 
 namespace rtec {
+
+namespace trace {
+class MetricsRegistry;
+}  // namespace trace
 
 /// The pair of directed handoff channels one gateway forwards through,
 /// created by Scenario::link_gateway (the scenario knows the segment→shard
@@ -101,6 +106,11 @@ class Gateway {
     c.forward_failures = dir_a_to_b_.failures + dir_b_to_a_.failures;
     return c;
   }
+
+  /// Snapshots counters() into a metrics registry under `<prefix>.`
+  /// (same between-runs caveat as counters()).
+  void export_metrics(trace::MetricsRegistry& reg,
+                      const std::string& prefix) const;
 
  private:
   /// Written only from the direction's destination segment context.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <string>
 
 #include "core/gateway.hpp"
@@ -13,6 +14,16 @@ namespace {
 Calendar::Config with_bus(Calendar::Config cal, BusConfig bus) {
   cal.bus = bus;
   return cal;
+}
+
+/// Feeds a channel's handoff posts into a network's RTEB writer. Posts
+/// happen in the source kernel's execution context (see HandoffChannel),
+/// so the records interleave deterministically with that segment's frames.
+void hook_channel(HandoffChannel& ch, trace::RtebWriter& w) {
+  ch.set_post_observer([&w](TimePoint send, TimePoint release,
+                            std::uint32_t channel, std::uint64_t seq) {
+    w.add_handoff(send, release, channel, seq);
+  });
 }
 }  // namespace
 
@@ -56,6 +67,13 @@ GatewayLink Scenario::link_gateway(const Node& a, const Node& b,
   link.b_to_a = &engine_.link(static_cast<std::size_t>(shard_of(net_b)),
                               static_cast<std::size_t>(shard_of(net_a)),
                               forward_latency);
+  channel_sources_.emplace_back(net_a, link.a_to_b);
+  channel_sources_.emplace_back(net_b, link.b_to_a);
+  // A recorder attached before this link still sees its handoffs.
+  if (auto& rec = networks_[static_cast<std::size_t>(net_a)]->rteb)
+    hook_channel(*link.a_to_b, rec->writer());
+  if (auto& rec = networks_[static_cast<std::size_t>(net_b)]->rteb)
+    hook_channel(*link.b_to_a, rec->writer());
   return link;
 }
 
@@ -116,8 +134,80 @@ std::uint64_t Scenario::tapped_deliveries(int network) const {
 
 void Scenario::flush_streams() {
   const TimePoint t = now();
-  for (const auto& net : networks_)
+  for (const auto& net : networks_) {
     if (net->tap) net->tap->finish(t);
+    if (net->rteb) net->rteb->finish();
+  }
+}
+
+trace::RtebRecorder& Scenario::record_rteb(int network) {
+  return attach_rteb(network, nullptr);
+}
+
+trace::RtebRecorder& Scenario::record_rteb_file(const std::string& path,
+                                                int network) {
+  return attach_rteb(network, &path);
+}
+
+trace::RtebRecorder& Scenario::attach_rteb(int network,
+                                           const std::string* path) {
+  Network& net = *networks_.at(static_cast<std::size_t>(network));
+  assert(net.rteb == nullptr && "one RTEB recorder per network");
+  const auto net_id = static_cast<std::uint16_t>(network);
+  net.rteb = path != nullptr
+                 ? std::make_unique<trace::RtebRecorder>(net.bus, net_id, *path)
+                 : std::make_unique<trace::RtebRecorder>(net.bus, net_id);
+  trace::RtebWriter& w = net.rteb->writer();
+  if (net.detector_bank != nullptr) {
+    for (std::size_t i = 0; i < net.detector_bank->size(); ++i)
+      net.detector_bank->at(i).set_alarm_sink([&w](const trace::Alarm& a) {
+        w.add_alarm(a.detector, a.at, a.id, a.score, a.unknown_id);
+      });
+  }
+  for (const auto& [source, channel] : channel_sources_)
+    if (source == network) hook_channel(*channel, w);
+  return *net.rteb;
+}
+
+SpanProfiler& Scenario::enable_profiling() {
+  if (profiler_ == nullptr) {
+    profiler_ = std::make_unique<SpanProfiler>();
+    engine_.set_profiler(profiler_.get());
+    for (std::size_t i = 0; i < networks_.size(); ++i) {
+      char prefix[40];
+      std::snprintf(prefix, sizeof prefix, "net%03zu.bus", i);
+      networks_[i]->bus.set_profiler(profiler_.get(), prefix);
+    }
+  }
+  return *profiler_;
+}
+
+void Scenario::export_metrics(trace::MetricsRegistry& reg) const {
+  char prefix[40];
+  // %03zu padding keeps the registry's sorted iteration in instance order
+  // for up to 1000 kernels / kMaxNetworks segments.
+  for (std::size_t s = 0; s < sims_.size(); ++s) {
+    std::snprintf(prefix, sizeof prefix, "kernel%03zu", s);
+    trace::export_metrics(reg, prefix, sims_[s]->stats());
+  }
+  trace::export_metrics(reg, "engine", engine_);
+  for (std::size_t i = 0; i < networks_.size(); ++i) {
+    const Network& net = *networks_[i];
+    std::snprintf(prefix, sizeof prefix, "net%03zu", i);
+    const std::string base{prefix};
+    trace::export_metrics(reg, base + ".bus", net.bus);
+    if (net.tap) trace::export_metrics(reg, base + ".tap", *net.tap);
+    if (net.detector_bank)
+      trace::export_metrics(reg, base + ".detector", *net.detector_bank);
+    if (net.rteb) trace::export_metrics(reg, base + ".rteb", net.rteb->writer());
+  }
+  if (profiler_) trace::export_metrics(reg, "profile", *profiler_);
+}
+
+std::string Scenario::metrics_json() const {
+  trace::MetricsRegistry reg;
+  export_metrics(reg);
+  return reg.to_json();
 }
 
 Expected<void, std::string> Scenario::load_calendar_image(

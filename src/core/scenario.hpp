@@ -12,8 +12,11 @@
 #include "core/node.hpp"
 #include "sched/calendar.hpp"
 #include "sim/shard_engine.hpp"
+#include "trace/binary.hpp"
 #include "trace/detectors.hpp"
+#include "trace/registry.hpp"
 #include "trace/stream.hpp"
+#include "util/profile.hpp"
 
 /// \file scenario.hpp
 /// Scenario — one simulated deployment: the kernel(s), one or more CAN
@@ -114,8 +117,40 @@ class Scenario {
   [[nodiscard]] std::uint64_t tapped_deliveries(int network = 0) const;
 
   /// Ends the streaming observers' input: flushes window state of every
-  /// detector bank at the current time. Call once after the final run.
+  /// detector bank at the current time and flushes file-backed RTEB
+  /// recorders. Call once after the final run.
   void flush_streams();
+
+  /// Attaches a memory-backed RTEB recorder (trace/binary.hpp) to one
+  /// network: every bus occupancy of that segment, every alarm of
+  /// detectors already in its bank, and every handoff posted on channels
+  /// sourced from it (linked before or after this call) stream into one
+  /// binary trace, byte-identical across shard/thread counts. Call after
+  /// adding the network's detectors — alarm sinks are wired at this point
+  /// (and replace any sink already set on them). One recorder per network.
+  trace::RtebRecorder& record_rteb(int network = 0);
+  /// Same, streaming to `path` through the writer's bounded buffer.
+  trace::RtebRecorder& record_rteb_file(const std::string& path,
+                                        int network = 0);
+  /// The network's recorder, or nullptr when record_rteb was never called.
+  [[nodiscard]] trace::RtebRecorder* rteb(int network = 0) {
+    return networks_.at(static_cast<std::size_t>(network))->rteb.get();
+  }
+
+  /// Enables simulated-time span profiling (util/profile.hpp): wires the
+  /// engine's epoch hook and every bus's occupancy hooks into one
+  /// scenario-owned profiler. Idempotent; exported under "profile." by
+  /// export_metrics.
+  SpanProfiler& enable_profiling();
+
+  /// Snapshots every counter the scenario can see into `reg` (metric
+  /// catalog: docs/observability.md): per-shard kernel stats
+  /// ("kernelNNN."), the parallel engine ("engine."), each network's bus
+  /// / tap / detectors / RTEB writer ("netNNN."), and the profiler
+  /// ("profile.") when enabled.
+  void export_metrics(trace::MetricsRegistry& reg) const;
+  /// export_metrics into a fresh registry, rendered as canonical JSON.
+  [[nodiscard]] std::string metrics_json() const;
 
   /// Loads a configuration image (sched/calendar_io.hpp) into a network's
   /// calendar: every slot is re-admitted; bus/round/gap settings of the
@@ -200,7 +235,11 @@ class Scenario {
     /// Streaming observer plumbing, created lazily by detectors().
     std::unique_ptr<trace::StreamTap> tap;
     std::unique_ptr<trace::DetectorBank> detector_bank;
+    /// Binary trace capture, created by record_rteb[_file]().
+    std::unique_ptr<trace::RtebRecorder> rteb;
   };
+
+  trace::RtebRecorder& attach_rteb(int network, const std::string* path);
 
   Config cfg_;
   /// One kernel per shard; every member below may reference them, so they
@@ -215,6 +254,11 @@ class Scenario {
   std::map<std::pair<int, NodeId>, std::unique_ptr<Node>> nodes_;
   /// Segments each id appears on — backs the id-unique compat lookups.
   std::map<NodeId, std::vector<int>> id_networks_;
+  /// (source network, channel) for every gateway channel, so RTEB
+  /// recorders can hook handoff posts whichever of record_rteb /
+  /// link_gateway runs first.
+  std::vector<std::pair<int, HandoffChannel*>> channel_sources_;
+  std::unique_ptr<SpanProfiler> profiler_;  ///< enable_profiling()
 };
 
 }  // namespace rtec

@@ -77,6 +77,10 @@ class HandoffBatch {
   /// Handoffs awaiting injection at the next barrier.
   [[nodiscard]] std::size_t pending() const { return buffer_.size(); }
   [[nodiscard]] Simulator& dest() const { return dest_; }
+  /// Bytes one buffered handoff occupies (engine barrier-traffic stats).
+  [[nodiscard]] static constexpr std::size_t pending_bytes() {
+    return sizeof(Pending);
+  }
 
  private:
   struct Pending {
@@ -111,6 +115,15 @@ class HandoffChannel {
   HandoffChannel(const HandoffChannel&) = delete;
   HandoffChannel& operator=(const HandoffChannel&) = delete;
 
+  /// Observes every post() in the SOURCE segment's execution context,
+  /// before the handoff is batched — i.e. in the source's deterministic
+  /// event order, which is what lets an RTEB recorder log handoffs
+  /// byte-identically across shard/thread counts (trace/binary.hpp).
+  using PostObserver = std::function<void(
+      TimePoint send, TimePoint release, std::uint32_t channel,
+      std::uint64_t seq)>;
+  void set_post_observer(PostObserver o) { post_observer_ = std::move(o); }
+
   /// Commits one handoff sent at `send_time` (the source segment's current
   /// simulation time). `cb` runs in the destination segment's context at
   /// `send_time + latency()`.
@@ -118,6 +131,7 @@ class HandoffChannel {
   void post(TimePoint send_time, F&& cb) {
     const TimePoint release = send_time + latency_;
     const std::uint64_t seq = next_seq_++;
+    if (post_observer_) post_observer_(send_time, release, id_, seq);
     if (batch_ != nullptr) {
       batch_->push(release, id_, seq,
                    std::function<void()>{std::forward<F>(cb)});
@@ -138,6 +152,7 @@ class HandoffChannel {
   std::uint32_t id_;
   Duration latency_;
   std::uint64_t next_seq_ = 0;
+  PostObserver post_observer_;
 };
 
 }  // namespace rtec

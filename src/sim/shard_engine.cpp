@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <condition_variable>
 #include <functional>
@@ -88,11 +89,24 @@ class EpochPool {
         });
         coordinator_waiting_ = false;
         spin_budget_ = std::max(kMinSpin, spin_budget_ / 2);
+        park_waits_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       cpu_relax();
     }
     spin_budget_ = std::min(kMaxSpin, spin_budget_ * 2);
+    spin_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Barrier waits resolved without parking (coordinator + workers).
+  /// Stable once run_epoch has returned: worker increments happen-before
+  /// the remaining_ decrement the coordinator waits on.
+  [[nodiscard]] std::uint64_t spin_waits() const {
+    return spin_waits_.load(std::memory_order_acquire);
+  }
+  /// Barrier waits that fell back to the parked condvar path.
+  [[nodiscard]] std::uint64_t park_waits() const {
+    return park_waits_.load(std::memory_order_acquire);
   }
 
  private:
@@ -124,6 +138,10 @@ class EpochPool {
         cpu_relax();
       }
       if (stop_.load(std::memory_order_acquire)) return;
+      // Wait accounting (relaxed: the remaining_ handshake below publishes
+      // it); destruction-time waits never reach here.
+      (parked ? park_waits_ : spin_waits_)
+          .fetch_add(1, std::memory_order_relaxed);
       // The coordinator waits for remaining_ == 0 before starting the
       // next epoch, so at most one bump is outstanding here.
       seen = epoch_.load(std::memory_order_acquire);
@@ -154,6 +172,8 @@ class EpochPool {
   std::atomic<std::size_t> next_item_{0};
   std::atomic<std::size_t> remaining_{0};
   std::atomic<unsigned> parked_{0};
+  std::atomic<std::uint64_t> spin_waits_{0};
+  std::atomic<std::uint64_t> park_waits_{0};
   bool coordinator_waiting_ = false;  ///< guarded by m_
   std::atomic<bool> stop_{false};
   int spin_budget_ = kMinSpin;  ///< coordinator-side, adapted per epoch
@@ -206,7 +226,14 @@ void ShardEngine::rebuild_incoming() {
 }
 
 TimePoint ShardEngine::drain_and_peek() {
-  for (Direction& d : directions_) stats_.handoffs += d.batch->drain();
+  for (Direction& d : directions_) {
+    const std::size_t n = d.batch->drain();
+    stats_.handoffs += n;
+    if (n > 0) {
+      ++stats_.handoff_batches;
+      stats_.handoff_bytes += n * HandoffBatch::pending_bytes();
+    }
+  }
   TimePoint next_min = TimePoint::max();
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     next_[i] = shards_[i]->peek_next_time();
@@ -262,7 +289,20 @@ void ShardEngine::compute_horizons(TimePoint end_excl, TimePoint next_min) {
         h = std::min(h, saturating_add(et_[in.peer], in.latency));
     }
     horizon_[i] = h;
-    if (next_[i] < h) active_.push_back(static_cast<std::uint32_t>(i));
+    if (next_[i] < h) {
+      active_.push_back(static_cast<std::uint32_t>(i));
+      ++stats_.per_shard_runs[i];
+      // h <= end_excl < max and next_[i] < h, so the advance is a positive
+      // int64; log2 bucket = position of its highest set bit.
+      const auto advance = static_cast<std::uint64_t>((h - next_[i]).ns());
+      ++stats_.horizon_advance_log2[static_cast<std::size_t>(
+          std::bit_width(advance) - 1)];
+    } else if (next_[i] < TimePoint::max()) {
+      // Pending work but no safe horizon this epoch: the idle time the
+      // speedup investigation wants attributed.
+      ++stats_.shard_skips;
+      ++stats_.per_shard_skips[i];
+    }
   }
   // Progress: the shard holding next_min has ET == next_min (positive
   // latencies cannot lower it further), so every bound on it is at least
@@ -284,14 +324,22 @@ void ShardEngine::run_until(TimePoint t) {
   horizon_.assign(shards_.size(), TimePoint::max());
   active_.clear();
   active_.reserve(shards_.size());
+  if (stats_.per_shard_runs.size() != shards_.size()) {
+    stats_.per_shard_runs.resize(shards_.size(), 0);
+    stats_.per_shard_skips.resize(shards_.size(), 0);
+  }
 
   std::unique_ptr<EpochPool> pool;
   if (workers > 1)
     pool = std::make_unique<EpochPool>(workers, shards_, horizon_, active_);
 
+  TimePoint prev_min = TimePoint::max();  // sentinel: no epoch yet
   for (;;) {
     const TimePoint next_min = drain_and_peek();
     if (next_min > t) break;
+    if (epoch_span_ != nullptr && prev_min != TimePoint::max())
+      epoch_span_->record((next_min - prev_min).ns());
+    prev_min = next_min;
     compute_horizons(end_excl, next_min);
     ++stats_.epochs;
     stats_.shard_runs += active_.size();
@@ -305,9 +353,23 @@ void ShardEngine::run_until(TimePoint t) {
       for (const std::uint32_t s : active_) shards_[s]->run_before(horizon_[s]);
     }
   }
+  if (pool) {
+    stats_.barrier_spins += pool->spin_waits();
+    stats_.barrier_parks += pool->park_waits();
+  }
   // All events <= t have executed and every pending handoff releasing
   // <= t has been injected (loop invariant); park each kernel at t.
   for (Simulator* s : shards_) s->run_until(t);
+}
+
+void ShardEngine::reset_stats() {
+  stats_ = Stats{};
+  stats_.per_shard_runs.assign(shards_.size(), 0);
+  stats_.per_shard_skips.assign(shards_.size(), 0);
+}
+
+void ShardEngine::set_profiler(SpanProfiler* p) {
+  epoch_span_ = p != nullptr ? p->slot("engine.epoch_advance") : nullptr;
 }
 
 }  // namespace rtec

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -8,6 +9,7 @@
 
 #include "sim/handoff.hpp"
 #include "sim/simulator.hpp"
+#include "util/profile.hpp"
 #include "util/time_types.hpp"
 
 /// \file shard_engine.hpp
@@ -121,12 +123,42 @@ class ShardEngine {
   /// nothing feeds it.
   [[nodiscard]] Duration incoming_lookahead(std::size_t shard) const;
 
+  /// Engine activity counters. CUMULATIVE across run_until() calls for
+  /// the engine's lifetime (a scenario typically calls run_until many
+  /// times while draining streams); call reset_stats() to start a fresh
+  /// measurement window, e.g. after warm-up.
+  ///
+  /// Everything here except the two barrier counters is a pure function
+  /// of the scenario (bit-identical across thread counts). barrier_spins
+  /// and barrier_parks measure *host* scheduling — how often an epoch
+  /// barrier wait was satisfied by spinning vs falling back to the parked
+  /// condvar — and legitimately vary run to run; they exist to attribute
+  /// parallel overhead (ROADMAP's speedup investigation), not to be
+  /// diffed.
   struct Stats {
     std::uint64_t epochs = 0;      ///< lockstep windows executed
     std::uint64_t handoffs = 0;    ///< cross-shard handoffs injected
     std::uint64_t shard_runs = 0;  ///< shard executions summed over epochs
+    std::uint64_t shard_skips = 0;  ///< shard-epochs idled (no safe work)
+    std::uint64_t handoff_batches = 0;  ///< non-empty direction drains
+    std::uint64_t handoff_bytes = 0;    ///< payload bytes those drains moved
+    std::uint64_t barrier_spins = 0;  ///< barrier waits resolved by spinning
+    std::uint64_t barrier_parks = 0;  ///< barrier waits that parked (condvar)
+    /// log2 histogram of per-shard epoch advances: bucket b counts active
+    /// shard-epochs whose horizon lay [2^b, 2^(b+1)) ns past the shard's
+    /// next event — the distribution behind the mean lookahead quality.
+    std::array<std::uint64_t, 64> horizon_advance_log2{};
+    std::vector<std::uint64_t> per_shard_runs;   ///< indexed by shard
+    std::vector<std::uint64_t> per_shard_skips;  ///< indexed by shard
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Zeroes every counter (the per-shard vectors keep their size).
+  void reset_stats();
+
+  /// Enables simulated-time span profiling (nullptr disables; disabled
+  /// hooks cost one branch). Records "engine.epoch_advance": how far the
+  /// global minimum next-event time moved per epoch.
+  void set_profiler(SpanProfiler* p);
 
  private:
   /// One ordered cross-shard pair with at least one channel. The batch
@@ -169,6 +201,7 @@ class ShardEngine {
   unsigned threads_ = 1;
   LookaheadMode mode_ = LookaheadMode::kPerLink;
   Stats stats_;
+  SpanStats* epoch_span_ = nullptr;  ///< nullptr: profiling disabled
 };
 
 }  // namespace rtec

@@ -32,6 +32,7 @@ void Simulator::cancel(TimerHandle& h) {
   const std::uint32_t idx = slot_of(h.seqslot_);
   if (h.seqslot_ != 0 && idx < slot_count_ && slot_seq_[idx] == h.seqslot_) {
     release_slot(idx);
+    ++stats_.cancelled;
     // Lazy deletion: reclaim heap memory once cancelled entries dominate.
     if (heap_.size() >= 64 && heap_.size() - live_ > heap_.size() / 2)
       compact();
@@ -57,6 +58,7 @@ bool Simulator::step() {
     // own callback is an identity-mismatch no-op, exactly as after firing.
     slot_seq_[idx] = 0;
     --live_;
+    ++stats_.fired;
     slot(idx).consume();
     free_slots_.push_back(idx);
     return true;
@@ -142,6 +144,7 @@ void Simulator::sift_down(std::size_t i) {
 }
 
 void Simulator::compact() {
+  ++stats_.compactions;
   std::erase_if(heap_, [this](const Entry& e) { return stale(e); });
   if (heap_.size() <= 1) return;
   // Re-heapify bottom-up; ordering is fully determined by (time, seq), so

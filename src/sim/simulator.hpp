@@ -66,12 +66,25 @@ class alignas(64) Simulator {
     std::uint64_t seqslot_ = 0;
   };
 
+  /// Kernel activity counters, cumulative over the simulator's lifetime.
+  /// Plain increments on paths that already touch the same cache lines —
+  /// the cost is unmeasurable against heap traffic (bench_kernel).
+  struct Stats {
+    std::uint64_t scheduled = 0;    ///< local events scheduled
+    std::uint64_t injected = 0;     ///< cross-kernel handoffs injected
+    std::uint64_t cancelled = 0;    ///< successful cancels (not no-ops)
+    std::uint64_t fired = 0;        ///< events executed
+    std::uint64_t compactions = 0;  ///< lazy-cancel heap compactions
+  };
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
   [[nodiscard]] TimePoint now() const { return now_; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// Schedules `cb` to run at absolute time `t` (>= now, asserted).
   template <typename F>
@@ -89,6 +102,7 @@ class alignas(64) Simulator {
     slot_seq_[idx] = seqslot;
     heap_push(Entry{t, seqslot});
     ++live_;
+    ++stats_.scheduled;
     return TimerHandle{seqslot};
   }
 
@@ -124,6 +138,7 @@ class alignas(64) Simulator {
     slot_seq_[idx] = seqslot;
     heap_push(Entry{t, seqslot});
     ++live_;
+    ++stats_.injected;
   }
 
   /// Cancels a scheduled event in O(1) (the heap entry is removed lazily).
@@ -249,6 +264,7 @@ class alignas(64) Simulator {
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  Stats stats_;
 };
 
 }  // namespace rtec

@@ -74,56 +74,64 @@ bool parse_hex(const std::string& s, std::uint32_t& out) {
 
 }  // namespace
 
-std::vector<CandumpEntry> parse_candump(const std::string& text) {
+std::vector<CandumpEntry> parse_candump(const std::string& text,
+                                        std::size_t* skipped_lines) {
   std::vector<CandumpEntry> out;
+  std::size_t skipped = 0;
   std::istringstream in{text};
   std::string line;
-  while (std::getline(in, line)) {
+  // `skip` marks the current line malformed; blank lines fall through
+  // without being counted.
+  const auto skip = [&skipped] {
+    ++skipped;
+    return false;
+  };
+  const auto parse_line = [&](const std::string& l) {
     // "(secs.micros) iface ID#DATA"
-    std::istringstream ls{line};
+    std::istringstream ls{l};
     std::string ts;
     std::string iface;
     std::string frame_str;
-    if (!(ls >> ts >> iface >> frame_str)) continue;
-    if (ts.size() < 3 || ts.front() != '(' || ts.back() != ')') continue;
+    if (!(ls >> ts)) return true;  // blank line
+    if (!(ls >> iface >> frame_str)) return skip();
+    if (ts.size() < 3 || ts.front() != '(' || ts.back() != ')') return skip();
 
     long long secs = 0;
     long long micros = 0;
-    if (std::sscanf(ts.c_str(), "(%lld.%lld)", &secs, &micros) != 2) continue;
+    if (std::sscanf(ts.c_str(), "(%lld.%lld)", &secs, &micros) != 2)
+      return skip();
 
     const std::size_t hash = frame_str.find('#');
-    if (hash == std::string::npos) continue;
+    if (hash == std::string::npos) return skip();
     const std::string id_str = frame_str.substr(0, hash);
     const std::string data_str = frame_str.substr(hash + 1);
 
     CandumpEntry entry;
     entry.at = TimePoint::from_ns(secs * 1'000'000'000 + micros * 1000);
-    if (!parse_hex(id_str, entry.frame.id)) continue;
+    if (!parse_hex(id_str, entry.frame.id)) return skip();
     entry.frame.extended = id_str.size() > 3;
-    if (entry.frame.extended && entry.frame.id > kMaxExtendedId) continue;
-    if (!entry.frame.extended && entry.frame.id > kMaxBaseId) continue;
+    if (entry.frame.extended && entry.frame.id > kMaxExtendedId) return skip();
+    if (!entry.frame.extended && entry.frame.id > kMaxBaseId) return skip();
 
     if (!data_str.empty() && (data_str[0] == 'R' || data_str[0] == 'r')) {
       entry.frame.rtr = true;
       entry.frame.dlc = 0;
     } else {
-      if (data_str.size() % 2 != 0 || data_str.size() > 16) continue;
+      if (data_str.size() % 2 != 0 || data_str.size() > 16) return skip();
       entry.frame.dlc = static_cast<std::uint8_t>(data_str.size() / 2);
-      bool ok = true;
       for (int i = 0; i < entry.frame.dlc; ++i) {
         const int hi = hex_value(data_str[static_cast<std::size_t>(2 * i)]);
         const int lo = hex_value(data_str[static_cast<std::size_t>(2 * i + 1)]);
-        if (hi < 0 || lo < 0) {
-          ok = false;
-          break;
-        }
+        if (hi < 0 || lo < 0) return skip();
         entry.frame.data[static_cast<std::size_t>(i)] =
             static_cast<std::uint8_t>((hi << 4) | lo);
       }
-      if (!ok) continue;
     }
     out.push_back(entry);
-  }
+    return true;
+  };
+  while (std::getline(in, line)) parse_line(line);
+  if (skipped_lines != nullptr) *skipped_lines = skipped;
   return out;
 }
 

@@ -53,9 +53,14 @@ struct CandumpEntry {
   CanFrame frame;
 };
 
-/// Parses a candump log. Malformed lines are skipped; returns the entries
-/// in file order.
-[[nodiscard]] std::vector<CandumpEntry> parse_candump(const std::string& text);
+/// Parses a candump log; returns the entries in file order. Malformed
+/// lines (bad timestamp, unparsable or out-of-range identifier, odd or
+/// oversized data field) are skipped, and their count is reported through
+/// `skipped_lines` when non-null — callers ingesting external captures
+/// should surface it, since a silently shortened log corrupts replay
+/// timing. Blank lines are not counted as malformed.
+[[nodiscard]] std::vector<CandumpEntry> parse_candump(
+    const std::string& text, std::size_t* skipped_lines = nullptr);
 
 /// Replays parsed entries into the simulation through `controller`:
 /// each frame is submitted at `start + (entry.at - first_entry.at)`.

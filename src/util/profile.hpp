@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file profile.hpp
+/// Simulated-time span profiling for engine components.
+///
+/// A span is a named duration population (count / total / min / max) over
+/// *simulated* nanoseconds — e.g. how long each bus occupancy lasted, or
+/// how far each parallel epoch advanced a shard. Everything here is
+/// deterministic: spans measure the simulation's own timeline, never wall
+/// clocks (which the determinism lint bans from engine sources), so a
+/// profile is bit-identical across shard/thread counts just like the
+/// traces.
+///
+/// The hook pattern keeps disabled profiling at zero cost: a component
+/// holds a `SpanStats*` that defaults to nullptr and guards each record
+/// with one branch. Enabling is wiring the pointer to a SpanProfiler slot
+/// (slot addresses are stable for the profiler's lifetime); there is no
+/// registry lookup, no string hashing and no allocation on the hot path.
+/// trace/registry.hpp exports a profiler into a MetricsRegistry snapshot.
+
+namespace rtec {
+
+/// One span population. Plain aggregates; record() is branch-free beyond
+/// the min/max updates.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t min_ns = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_ns = std::numeric_limits<std::int64_t>::min();
+
+  void record(std::int64_t ns) {
+    ++count;
+    total_ns += ns;
+    if (ns < min_ns) min_ns = ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+
+  [[nodiscard]] double mean_ns() const {
+    return count > 0 ? static_cast<double>(total_ns) /
+                           static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// Owns named SpanStats slots with stable addresses. Slots are created on
+/// first request and iterated in creation order (which is deterministic —
+/// components are wired in program order).
+class SpanProfiler {
+ public:
+  SpanProfiler() = default;
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  /// Finds or creates the slot for `name`. The returned pointer stays
+  /// valid for the profiler's lifetime.
+  [[nodiscard]] SpanStats* slot(std::string_view name) {
+    for (const Slot& s : slots_)
+      if (s.name == name) return s.stats.get();
+    slots_.push_back(Slot{std::string{name}, std::make_unique<SpanStats>()});
+    return slots_.back().stats.get();
+  }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const {
+    return slots_[i].name;
+  }
+  [[nodiscard]] const SpanStats& at(std::size_t i) const {
+    return *slots_[i].stats;
+  }
+
+ private:
+  struct Slot {
+    std::string name;
+    std::unique_ptr<SpanStats> stats;  ///< stable address across growth
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rtec

@@ -66,10 +66,26 @@ TEST(Candump, MalformedLinesSkipped) {
       "1.0 vcan0 123#00\n"                  // missing parens
       "(1.000000) vcan0 7FFFFFFF#00\n"      // id beyond 29 bits
       "(2.000000) vcan0 123#00\n";
-  const auto entries = parse_candump(log);
+  std::size_t skipped = 0;
+  const auto entries = parse_candump(log, &skipped);
   ASSERT_EQ(entries.size(), 2u);
   EXPECT_EQ(entries[0].frame.dlc, 0);
   EXPECT_EQ(entries[1].frame.data[0], 0x00);
+  EXPECT_EQ(skipped, 6u);  // every malformed line above, counted once
+}
+
+TEST(Candump, SkippedCountIgnoresBlankLines) {
+  // Blank and whitespace-only lines are not "malformed" — logs routinely
+  // end with a newline or separate bursts with empty lines.
+  std::size_t skipped = 0;
+  const auto entries = parse_candump("\n(1.000000) vcan0 123#00\n\n   \n",
+                                     &skipped);
+  EXPECT_EQ(entries.size(), 1u);
+  EXPECT_EQ(skipped, 0u);
+
+  const auto none = parse_candump("", &skipped);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(skipped, 0u);
 }
 
 TEST(Candump, RecordReplayRoundTrip) {

@@ -11,6 +11,7 @@
 #include "core/srtec.hpp"
 #include "sim/topology_gen.hpp"
 #include "time/periodic.hpp"
+#include "trace/binary.hpp"
 #include "util/random.hpp"
 #include "util/task_pool.hpp"
 
@@ -43,6 +44,7 @@ struct RunResult {
   std::vector<std::vector<std::string>> traces;  ///< per segment
   std::vector<std::int64_t> precision_ns;        ///< per segment, at end
   std::uint64_t handoffs = 0;
+  std::vector<std::string> rteb;  ///< per-segment binary traces (opt-in)
 };
 
 /// Builds a `segments`-segment scenario (chain: 0-1-2-...; star: 0 is the
@@ -244,7 +246,7 @@ TEST(MultisegDifferential, StarOfThreeSegments) {
 /// fourth segment (busy/light mix — the weak coupling per-link lookahead
 /// exploits).
 RunResult run_city(const TopoSpec& topo, int shards, unsigned threads,
-                   Duration sim_time) {
+                   Duration sim_time, bool record_rteb = false) {
   Scenario::Config cfg;
   cfg.networks = topo.segments;
   cfg.shards = shards;
@@ -253,6 +255,11 @@ RunResult run_city(const TopoSpec& topo, int shards, unsigned threads,
   Scenario scn{cfg};
   TaskPool pool;
   Rng setup_rng{topo.seed + 0xC17Bu};
+
+  // Recorders attach before link_gateway: the recorder-first wiring path
+  // must still capture every handoff of later-created channels.
+  if (record_rteb)
+    for (int net = 0; net < topo.segments; ++net) (void)scn.record_rteb(net);
 
   RunResult out;
   out.traces.resize(static_cast<std::size_t>(topo.segments));
@@ -361,6 +368,9 @@ RunResult run_city(const TopoSpec& topo, int shards, unsigned threads,
   for (int net = 0; net < topo.segments; ++net)
     out.precision_ns.push_back(scn.clock_precision(net).ns());
   out.handoffs = scn.shard_engine().stats().handoffs;
+  if (record_rteb)
+    for (int net = 0; net < topo.segments; ++net)
+      out.rteb.push_back(scn.rteb(net)->bytes());
   return out;
 }
 
@@ -394,6 +404,44 @@ TEST(MultisegCity, CampusGrid64ByteIdenticalAcrossThreads) {
 
 TEST(MultisegCity, BackboneTree64ByteIdenticalAcrossThreads) {
   city_differential(TopoShape::kBackboneTree, 64, {1u, 2u, 4u}, 60_ms);
+}
+
+TEST(MultisegCity, RtebByteIdenticalAcrossShardsAndThreads) {
+  // The tentpole determinism gate: per-segment RTEB binary traces of a
+  // generated 64-segment grid are byte-identical for every shard/thread
+  // configuration — not just semantically equal, the files themselves.
+  const TopoSpec topo = make_topology(TopoShape::kCampusGrid, 64, /*seed=*/11);
+  const RunResult ref = run_city(topo, /*shards=*/1, /*threads=*/1, 40_ms,
+                                 /*record_rteb=*/true);
+  ASSERT_EQ(ref.rteb.size(), 64u);
+  std::size_t total_bytes = 0;
+  for (const auto& t : ref.rteb) total_bytes += t.size();
+  ASSERT_GT(total_bytes, 64u * trace::kRtebHeaderSize)
+      << "workload too idle to be a meaningful byte-identity check";
+
+  // The reference trace must actually contain handoff records (the only
+  // record kind whose ordering crosses shard boundaries).
+  std::uint64_t handoff_records = 0;
+  for (const auto& t : ref.rteb) {
+    auto reader = trace::RtebReader::open(t);
+    ASSERT_TRUE(reader.has_value()) << reader.error();
+    const auto records = reader->read_all();
+    ASSERT_TRUE(records.has_value()) << records.error();
+    for (const auto& r : *records)
+      if (r.kind == trace::RtebKind::kHandoff) ++handoff_records;
+  }
+  EXPECT_GT(handoff_records, 0u);
+
+  const ShardConfig configs[] = {{2, 1}, {2, 2}, {2, 4}, {64, 4}};
+  for (const auto& [shards, threads] : configs) {
+    const RunResult got = run_city(topo, shards, threads, 40_ms,
+                                   /*record_rteb=*/true);
+    ASSERT_EQ(got.rteb.size(), ref.rteb.size());
+    for (std::size_t net = 0; net < ref.rteb.size(); ++net)
+      ASSERT_EQ(ref.rteb[net], got.rteb[net])
+          << "RTEB bytes diverge on segment " << net << " at shards="
+          << shards << " threads=" << threads;
+  }
 }
 
 TEST(MultisegCity, GridSixteenTwoThreadsQuick) {
